@@ -1,0 +1,56 @@
+// Shared scaffolding for the figure/table regeneration harnesses.
+//
+// Each bench binary reruns the corresponding experiment at the paper's
+// scale, prints the figure (ASCII) and the series the paper reports, writes
+// the underlying data as CSV next to the binary (./bench_out/), and prints
+// paper-vs-measured checks for the shape properties the reproduction
+// targets. ESS_FAST=1 shrinks the experiments for smoke runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "core/study.hpp"
+
+namespace ess::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("ESS_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+inline core::StudyConfig study_config() {
+  core::StudyConfig cfg;
+  if (fast_mode()) {
+    cfg.baseline_duration = sec(300);
+    cfg.ppm.steps = 12;
+    cfg.wavelet.reference_count = 1;
+    cfg.wavelet.search_coarse = 16;
+    cfg.wavelet.search_mid = 8;
+    cfg.wavelet.search_fine = 4;
+    cfg.nbody.steps = 4;
+  }
+  return cfg;
+}
+
+inline std::string out_dir() {
+  const std::string dir = "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// One paper-vs-measured line; returns `ok` so callers can aggregate.
+inline bool check(const char* what, bool ok, const std::string& detail) {
+  std::printf("  [%s] %-58s %s\n", ok ? "OK" : "!!", what, detail.c_str());
+  return ok;
+}
+
+inline std::string fmt(const char* spec, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, spec, v);
+  return buf;
+}
+
+}  // namespace ess::bench

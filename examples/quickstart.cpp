@@ -1,0 +1,46 @@
+// Quickstart: run the paper's baseline and single-application experiments
+// on one simulated Beowulf node and print the Table-1 style summary.
+//
+//   ./quickstart [--fast]
+//
+// --fast shrinks the baseline from the paper's 2000 s (virtual) to 300 s.
+#include <cstring>
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "core/study.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ess;
+
+  core::StudyConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      cfg.baseline_duration = sec(300);
+    }
+  }
+
+  core::Study study(cfg);
+
+  std::cout << "== Phase A: running the real applications ==\n";
+  const auto& art = study.artifacts();
+  std::cout << "  PPM:     " << art.ppm.native_flops / 1000000 << " Mflop, "
+            << "mass=" << art.ppm.final_mass
+            << ", modelled compute=" << to_seconds(art.ppm.modelled_compute)
+            << "s\n";
+  std::cout << "  Wavelet: " << art.wavelet.native_flops / 1000000
+            << " Mflop, shift=(" << art.wavelet.best_shift_row << ","
+            << art.wavelet.best_shift_col << "), modelled compute="
+            << to_seconds(art.wavelet.modelled_compute) << "s\n";
+  std::cout << "  N-body:  " << art.nbody.total_interactions / 1000000
+            << " M interactions, modelled compute="
+            << to_seconds(art.nbody.modelled_compute) << "s\n\n";
+
+  std::cout << "== Phase B: simulated node experiments ==\n";
+  auto rows = study.table1();
+  std::cout << analysis::render_table1(rows) << "\n";
+  for (const auto& row : rows) {
+    std::cout << analysis::render_size_classes(row) << "\n";
+  }
+  return 0;
+}

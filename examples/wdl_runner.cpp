@@ -1,0 +1,57 @@
+// Run a workload described in a WDL file on the simulated node and print
+// its full characterization — the paper's "parameter set for system
+// design" as a command-line tool.
+//
+//   ./wdl_runner <file.wl> [more.wl ...]
+//
+// Multiple files run concurrently (a multiprogrammed mix). Sample files
+// live in workloads/.
+#include <cstdio>
+
+#include "analysis/phases.hpp"
+#include "analysis/report.hpp"
+#include "core/study.hpp"
+#include "workload/wdl.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ess;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file.wl> [more.wl ...]\n", argv[0]);
+    return 2;
+  }
+
+  core::StudyConfig cfg;
+  Rng rng(cfg.seed);
+  std::vector<workload::OpTrace> workloads;
+  std::string name;
+  for (int i = 1; i < argc; ++i) {
+    workloads.push_back(workload::parse_wdl_file(argv[i], rng));
+    if (!name.empty()) name += "+";
+    name += workloads.back().app_name;
+    std::printf("loaded %s: %zu ops, %.0f s compute, %llu B reads, "
+                "%llu B writes\n",
+                argv[i], workloads.back().ops.size(),
+                to_seconds(workloads.back().total_compute()),
+                static_cast<unsigned long long>(
+                    workloads.back().total_read_bytes()),
+                static_cast<unsigned long long>(
+                    workloads.back().total_write_bytes()));
+  }
+
+  core::Study study(cfg);
+  const auto result = study.run_custom(name, std::move(workloads));
+  if (!result.completed) {
+    std::printf("warning: run hit the time cap before completing\n");
+  }
+
+  const auto s = analysis::summarize(result.trace);
+  std::printf("\n%s\n", analysis::render_table1({s}).c_str());
+  std::printf("%s\n", analysis::render_size_classes(s).c_str());
+  std::printf("%s\n",
+              analysis::render_size_figure(result.trace, name).c_str());
+  std::printf("%s\n",
+              analysis::render_phases(
+                  analysis::detect_phases(result.trace, sec(20)))
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "analysis/patterns.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace ess::analysis {
+
+InterArrival inter_arrival(const trace::TraceSet& ts) {
+  InterArrival out;
+  const auto& recs = ts.records();
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    out.gaps_sec.add(to_seconds(recs[i].timestamp - recs[i - 1].timestamp));
+  }
+  out.cv = out.gaps_sec.mean() > 0
+               ? out.gaps_sec.stddev() / out.gaps_sec.mean()
+               : 0.0;
+  return out;
+}
+
+double burstiness(const trace::TraceSet& ts, SimTime window,
+                  double top_fraction) {
+  if (ts.empty() || window == 0) return 0.0;
+  const SimTime dur = ts.duration();
+  std::vector<std::uint64_t> counts((dur + window - 1) / window, 0);
+  if (counts.empty()) return 0.0;
+  for (const auto& r : ts.records()) {
+    counts[std::min<std::size_t>(r.timestamp / window, counts.size() - 1)]++;
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<>());
+  const auto top_n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(top_fraction *
+                                  static_cast<double>(counts.size())));
+  std::uint64_t top_sum = 0;
+  for (std::size_t i = 0; i < top_n; ++i) top_sum += counts[i];
+  return static_cast<double>(top_sum) / static_cast<double>(ts.size());
+}
+
+double sequential_fraction(const trace::TraceSet& ts) {
+  const auto& recs = ts.records();
+  if (recs.size() < 2) return 0.0;
+  std::uint64_t seq = 0;
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    const auto prev_end =
+        recs[i - 1].sector + recs[i - 1].size_bytes / 512;
+    if (recs[i].sector == prev_end) ++seq;
+  }
+  return static_cast<double>(seq) / static_cast<double>(recs.size() - 1);
+}
+
+Histogram sequential_run_lengths(const trace::TraceSet& ts) {
+  Histogram h;
+  const auto& recs = ts.records();
+  std::int64_t run = 1;
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    const auto prev_end =
+        recs[i - 1].sector + recs[i - 1].size_bytes / 512;
+    if (recs[i].sector == prev_end) {
+      ++run;
+    } else {
+      h.add(run);
+      run = 1;
+    }
+  }
+  if (!recs.empty()) h.add(run);
+  return h;
+}
+
+std::string to_string(Region r) {
+  switch (r) {
+    case Region::kMetadata:
+      return "fs-metadata";
+    case Region::kSystemLog:
+      return "system-logs";
+    case Region::kTraceFile:
+      return "trace-file";
+    case Region::kSwap:
+      return "swap/paging";
+    case Region::kAppData:
+      return "app-data";
+  }
+  return "?";
+}
+
+Region RegionMap::classify(std::uint64_t sector) const {
+  if (sector < metadata_end) return Region::kMetadata;
+  if (sector >= klog_lo) return Region::kSystemLog;
+  if (sector >= swap_lo && sector < swap_hi) return Region::kSwap;
+  if (sector >= trace_lo && sector < trace_hi) return Region::kTraceFile;
+  if (sector >= syslog_lo && sector < syslog_hi) return Region::kSystemLog;
+  return Region::kAppData;
+}
+
+std::vector<RegionShare> region_breakdown(const trace::TraceSet& ts,
+                                          const RegionMap& map) {
+  std::map<Region, std::pair<std::uint64_t, std::uint64_t>> acc;  // n, writes
+  for (const auto& r : ts.records()) {
+    auto& [n, w] = acc[map.classify(r.sector)];
+    ++n;
+    if (r.is_write) ++w;
+  }
+  std::vector<RegionShare> out;
+  const double total = static_cast<double>(ts.size());
+  for (const auto& [region, nw] : acc) {
+    RegionShare share;
+    share.region = region;
+    share.requests = nw.first;
+    share.pct = total > 0 ? 100.0 * static_cast<double>(nw.first) / total : 0;
+    share.write_pct =
+        nw.first > 0
+            ? 100.0 * static_cast<double>(nw.second) /
+                  static_cast<double>(nw.first)
+            : 0;
+    out.push_back(share);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.requests > b.requests;
+  });
+  return out;
+}
+
+std::string render_region_table(const std::vector<RegionShare>& rows) {
+  std::ostringstream os;
+  os << "Workload decomposition by disk region:\n";
+  os << "  region        requests     share   writes\n";
+  for (const auto& r : rows) {
+    char line[96];
+    std::snprintf(line, sizeof line, "  %-12s  %8llu   %5.1f%%   %5.1f%%\n",
+                  to_string(r.region).c_str(),
+                  static_cast<unsigned long long>(r.requests), r.pct,
+                  r.write_pct);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace ess::analysis

@@ -1,0 +1,83 @@
+// Access-pattern metrics beyond Section 4's figures: inter-arrival
+// statistics, burstiness, sequentiality, and disk-region classification —
+// the follow-on characterization axes of the related work the paper builds
+// on (Miller & Katz; Kotz & Nieuwejaar / CHARISMA).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace_set.hpp"
+#include "util/stats.hpp"
+
+namespace ess::analysis {
+
+/// Inter-arrival time statistics (seconds between consecutive requests).
+/// A coefficient of variation well above 1 indicates a bursty arrival
+/// process; ~1 is Poisson-like; below 1 is regular/periodic.
+struct InterArrival {
+  OnlineStats gaps_sec;
+  double cv = 0;  // stddev / mean
+};
+InterArrival inter_arrival(const trace::TraceSet& ts);
+
+/// Burstiness: the fraction of all requests that land in the busiest
+/// `top_fraction` of fixed windows. Uniform traffic gives ~top_fraction;
+/// a bursty trace concentrates far more.
+double burstiness(const trace::TraceSet& ts, SimTime window,
+                  double top_fraction = 0.1);
+
+/// Sequentiality: the fraction of requests that begin exactly where the
+/// previous request (anywhere on the disk) ended — the metric CHARISMA
+/// reports per file, applied here at the device level where the paper's
+/// probe sits.
+double sequential_fraction(const trace::TraceSet& ts);
+
+/// Length distribution of sequential runs (consecutive requests each
+/// starting at the previous one's end).
+Histogram sequential_run_lengths(const trace::TraceSet& ts);
+
+/// Classification of each request by the disk region it touches, given
+/// the experiment's layout. This decomposes the total workload into the
+/// elementary contributions the paper reasons about (kernel metadata vs
+/// logging vs paging vs application data).
+enum class Region : std::uint8_t {
+  kMetadata,   // superblock, bitmaps, inode table, directories
+  kSystemLog,  // syslog/utmp/pacct/kern.log block groups
+  kTraceFile,  // the instrumentation's own output
+  kSwap,       // the swap file area (paging)
+  kAppData,    // program images and application files
+};
+
+std::string to_string(Region r);
+
+/// Region boundaries in 512-byte sectors; defaults match the study layout
+/// in kernel/config.hpp.
+struct RegionMap {
+  std::uint64_t metadata_end = 16'900;      // FS metadata region
+  std::uint64_t syslog_lo = 16'900;         // low system-file groups
+  std::uint64_t syslog_hi = 48'000;
+  std::uint64_t swap_lo = 49'152;
+  std::uint64_t swap_hi = 98'304;
+  std::uint64_t trace_lo = 98'304;
+  std::uint64_t trace_hi = 110'000;
+  std::uint64_t klog_lo = 950'000;          // high system-file group
+
+  Region classify(std::uint64_t sector) const;
+};
+
+struct RegionShare {
+  Region region;
+  std::uint64_t requests = 0;
+  double pct = 0;
+  double write_pct = 0;
+};
+
+std::vector<RegionShare> region_breakdown(const trace::TraceSet& ts,
+                                          const RegionMap& map = {});
+
+/// Render the region table.
+std::string render_region_table(const std::vector<RegionShare>& rows);
+
+}  // namespace ess::analysis

@@ -1,0 +1,89 @@
+#include "analysis/phases.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace ess::analysis {
+
+std::vector<Phase> detect_phases(const trace::TraceSet& ts, SimTime window,
+                                 double change_factor) {
+  std::vector<Phase> out;
+  const SimTime dur = ts.duration();
+  if (dur == 0 || window == 0) return out;
+  const std::size_t nwin = (dur + window - 1) / window;
+
+  // Per-window counts and size histograms.
+  std::vector<std::uint64_t> counts(nwin, 0);
+  std::vector<std::map<std::uint32_t, std::uint64_t>> sizes(nwin);
+  for (const auto& r : ts.records()) {
+    const auto w = std::min<std::size_t>(r.timestamp / window, nwin - 1);
+    counts[w]++;
+    sizes[w][r.size_bytes]++;
+  }
+
+  auto similar = [change_factor](double a, double b) {
+    if (a == 0 && b == 0) return true;
+    if (a == 0 || b == 0) return false;
+    const double ratio = a > b ? a / b : b / a;
+    return ratio < change_factor;
+  };
+
+  const double wsec = to_seconds(window);
+  std::size_t seg_start = 0;
+  for (std::size_t w = 1; w <= nwin; ++w) {
+    const bool boundary =
+        w == nwin ||
+        !similar(static_cast<double>(counts[w]) / wsec,
+                 static_cast<double>(counts[w - 1]) / wsec);
+    if (!boundary) continue;
+
+    Phase ph;
+    ph.begin = static_cast<SimTime>(seg_start) * window;
+    ph.end = std::min<SimTime>(static_cast<SimTime>(w) * window, dur);
+    std::map<std::uint32_t, std::uint64_t> merged;
+    for (std::size_t i = seg_start; i < w; ++i) {
+      ph.requests += counts[i];
+      for (const auto& [sz, n] : sizes[i]) merged[sz] += n;
+    }
+    ph.rate = ph.duration_sec() > 0
+                  ? static_cast<double>(ph.requests) / ph.duration_sec()
+                  : 0.0;
+    std::uint64_t best = 0;
+    for (const auto& [sz, n] : merged) {
+      if (n > best) {
+        best = n;
+        ph.modal_bytes = sz;
+      }
+    }
+    out.push_back(ph);
+    seg_start = w;
+  }
+  return out;
+}
+
+Phase busiest_phase(const std::vector<Phase>& phases) {
+  Phase best;
+  for (const auto& p : phases) {
+    if (p.rate > best.rate) best = p;
+  }
+  return best;
+}
+
+std::string render_phases(const std::vector<Phase>& phases) {
+  std::ostringstream os;
+  os << "Detected phases:\n";
+  for (const auto& p : phases) {
+    char line[128];
+    std::snprintf(line, sizeof line,
+                  "  %7.0f - %7.0f s  %8.2f req/s  modal %2u KB  (%llu reqs)\n",
+                  to_seconds(p.begin), to_seconds(p.end), p.rate,
+                  p.modal_bytes / 1024,
+                  static_cast<unsigned long long>(p.requests));
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace ess::analysis

@@ -1,0 +1,40 @@
+// Automatic phase segmentation of a trace.
+//
+// The paper reads Figure 3 as a narrative — startup paging, the image-read
+// spike, a compute lull, a heavier tail. This detector recovers such
+// phases mechanically: windowed request rates are merged into segments
+// whose rates are mutually similar, and each segment is labelled with its
+// dominant request size.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_set.hpp"
+
+namespace ess::analysis {
+
+struct Phase {
+  SimTime begin = 0;
+  SimTime end = 0;
+  double rate = 0;              // requests per second in the segment
+  std::uint32_t modal_bytes = 0;  // most common request size
+  std::uint64_t requests = 0;
+
+  double duration_sec() const { return to_seconds(end - begin); }
+};
+
+/// Segment the trace. Adjacent windows whose rates differ by less than
+/// `change_factor` (ratio) merge into one phase; empty windows merge into
+/// idle phases.
+std::vector<Phase> detect_phases(const trace::TraceSet& ts,
+                                 SimTime window = sec(10),
+                                 double change_factor = 2.5);
+
+/// The busiest phase (highest rate); useful for locating the paper's
+/// "spike at ~50 s". Returns a zero Phase for an empty trace.
+Phase busiest_phase(const std::vector<Phase>& phases);
+
+std::string render_phases(const std::vector<Phase>& phases);
+
+}  // namespace ess::analysis

@@ -1,0 +1,224 @@
+#include "apps/wavelet/compress.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+namespace ess::apps::wavelet {
+
+std::vector<std::int16_t> quantize(const Plane& p, double step) {
+  if (step <= 0) throw std::invalid_argument("quantize: step <= 0");
+  std::vector<std::int16_t> out;
+  out.reserve(p.data().size());
+  for (const double v : p.data()) {
+    // Dead-zone: values within (-step, step) map to 0. Multi-level
+    // approximation bands scale with 2^levels, so the alphabet must span
+    // well past 8 bits.
+    const auto q = static_cast<long>(v / step);
+    out.push_back(
+        static_cast<std::int16_t>(std::clamp(q, -32000l, 32000l)));
+  }
+  return out;
+}
+
+Plane dequantize(const std::vector<std::int16_t>& symbols, int n,
+                 double step) {
+  Plane p(n);
+  if (symbols.size() != p.data().size()) {
+    throw std::invalid_argument("dequantize: size mismatch");
+  }
+  for (std::size_t i = 0; i < symbols.size(); ++i) {
+    const double q = symbols[i];
+    // Midpoint reconstruction, dead zone maps back to 0.
+    p.data()[i] = q == 0 ? 0.0 : (q + (q > 0 ? 0.5 : -0.5)) * step;
+  }
+  return p;
+}
+
+HuffmanCode HuffmanCode::build(const std::vector<std::int16_t>& data) {
+  if (data.empty()) throw std::invalid_argument("Huffman: empty input");
+  std::map<std::int16_t, std::uint64_t> freq;
+  for (const auto s : data) freq[s]++;
+
+  HuffmanCode code;
+  for (const auto& [sym, f] : freq) {
+    code.symbols_.push_back(sym);
+    code.freq_.push_back(f);
+  }
+
+  const std::size_t n = code.symbols_.size();
+  code.lengths_.assign(n, 0);
+  if (n == 1) {
+    code.lengths_[0] = 1;  // degenerate alphabet: one bit per symbol
+  } else {
+    // Standard Huffman tree over (freq, node) pairs.
+    struct Node {
+      std::uint64_t f;
+      int left, right, sym;  // sym >= 0 for leaves
+    };
+    std::vector<Node> nodes;
+    using QE = std::pair<std::uint64_t, int>;
+    std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back(Node{code.freq_[i], -1, -1, static_cast<int>(i)});
+      pq.push({code.freq_[i], static_cast<int>(i)});
+    }
+    while (pq.size() > 1) {
+      const auto [fa, a] = pq.top();
+      pq.pop();
+      const auto [fb, bidx] = pq.top();
+      pq.pop();
+      nodes.push_back(Node{fa + fb, a, bidx, -1});
+      pq.push({fa + fb, static_cast<int>(nodes.size() - 1)});
+    }
+    // Depths by DFS from the root.
+    std::vector<std::pair<int, int>> stack{{pq.top().second, 0}};
+    while (!stack.empty()) {
+      const auto [idx, depth] = stack.back();
+      stack.pop_back();
+      const Node& nd = nodes[static_cast<std::size_t>(idx)];
+      if (nd.sym >= 0) {
+        if (depth > 24) throw std::runtime_error("Huffman: code too long");
+        code.lengths_[static_cast<std::size_t>(nd.sym)] =
+            static_cast<std::uint8_t>(std::max(depth, 1));
+      } else {
+        stack.push_back({nd.left, depth + 1});
+        stack.push_back({nd.right, depth + 1});
+      }
+    }
+  }
+
+  // Canonicalize: assign codes by (length, symbol) order.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (code.lengths_[a] != code.lengths_[b]) {
+      return code.lengths_[a] < code.lengths_[b];
+    }
+    return code.symbols_[a] < code.symbols_[b];
+  });
+  code.encode_table_.assign(n, {});
+  std::uint32_t next = 0;
+  std::uint8_t prev_len = 0;
+  for (const std::size_t i : order) {
+    const std::uint8_t len = code.lengths_[i];
+    next <<= (len - prev_len);
+    code.encode_table_[i] = Entry{next, len};
+    ++next;
+    prev_len = len;
+  }
+  return code;
+}
+
+int HuffmanCode::index_of(std::int16_t symbol) const {
+  const auto it = std::lower_bound(symbols_.begin(), symbols_.end(), symbol);
+  if (it == symbols_.end() || *it != symbol) {
+    throw std::out_of_range("Huffman: symbol not in alphabet");
+  }
+  return static_cast<int>(it - symbols_.begin());
+}
+
+std::vector<std::uint8_t> HuffmanCode::encode(
+    const std::vector<std::int16_t>& data) const {
+  std::vector<std::uint8_t> out;
+  std::uint32_t acc = 0;
+  int acc_bits = 0;
+  for (const auto s : data) {
+    const Entry& e =
+        encode_table_[static_cast<std::size_t>(index_of(s))];
+    acc = (acc << e.length) | e.code;
+    acc_bits += e.length;
+    while (acc_bits >= 8) {
+      out.push_back(static_cast<std::uint8_t>(acc >> (acc_bits - 8)));
+      acc_bits -= 8;
+    }
+  }
+  if (acc_bits > 0) {
+    out.push_back(static_cast<std::uint8_t>(acc << (8 - acc_bits)));
+  }
+  return out;
+}
+
+std::vector<std::int16_t> HuffmanCode::decode(
+    const std::vector<std::uint8_t>& bits, std::size_t symbol_count) const {
+  // Bit-serial canonical decode via the encode table (alphabets here are
+  // <= 255 symbols; a table walk per bit is plenty fast for tests).
+  std::vector<std::int16_t> out;
+  out.reserve(symbol_count);
+  std::uint32_t acc = 0;
+  std::uint8_t acc_len = 0;
+  std::size_t bit_pos = 0;
+  const std::size_t total_bits = bits.size() * 8;
+  while (out.size() < symbol_count) {
+    if (bit_pos >= total_bits) {
+      throw std::runtime_error("Huffman: truncated stream");
+    }
+    const std::uint8_t bit =
+        (bits[bit_pos / 8] >> (7 - bit_pos % 8)) & 1;
+    ++bit_pos;
+    acc = (acc << 1) | bit;
+    ++acc_len;
+    for (std::size_t i = 0; i < encode_table_.size(); ++i) {
+      const Entry& e = encode_table_[i];
+      if (e.length == acc_len && e.code == acc) {
+        out.push_back(symbols_[i]);
+        acc = 0;
+        acc_len = 0;
+        break;
+      }
+    }
+    if (acc_len > 32) throw std::runtime_error("Huffman: bad stream");
+  }
+  return out;
+}
+
+std::uint64_t HuffmanCode::encoded_bits(
+    const std::vector<std::int16_t>& data) const {
+  std::uint64_t bits = 0;
+  for (const auto s : data) {
+    bits += encode_table_[static_cast<std::size_t>(index_of(s))].length;
+  }
+  return bits;
+}
+
+double HuffmanCode::mean_code_length() const {
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < freq_.size(); ++i) {
+    num += static_cast<double>(freq_[i]) * lengths_[i];
+    den += static_cast<double>(freq_[i]);
+  }
+  return den > 0 ? num / den : 0.0;
+}
+
+CompressionResult compress_roundtrip(const Plane& image, int levels,
+                                     double step) {
+  Plane coef = image;
+  forward2d(coef, levels, Filter::kDaub4);
+  const auto symbols = quantize(coef, step);
+  const auto code = HuffmanCode::build(symbols);
+  const auto payload = code.encode(symbols);
+  const auto decoded = code.decode(payload, symbols.size());
+  if (decoded != symbols) {
+    throw std::logic_error("compress_roundtrip: decode mismatch");
+  }
+  Plane recon = dequantize(decoded, image.size(), step);
+  inverse2d(recon, levels, Filter::kDaub4);
+
+  CompressionResult r;
+  r.step = step;
+  r.payload_bytes = payload.size();
+  r.bits_per_pixel = static_cast<double>(payload.size()) * 8.0 /
+                     static_cast<double>(image.data().size());
+  double mse = 0;
+  for (std::size_t i = 0; i < image.data().size(); ++i) {
+    const double d = image.data()[i] - recon.data()[i];
+    mse += d * d;
+  }
+  mse /= static_cast<double>(image.data().size());
+  r.psnr_db = mse > 0 ? 10.0 * std::log10(255.0 * 255.0 / mse) : 99.0;
+  return r;
+}
+
+}  // namespace ess::apps::wavelet

@@ -1,0 +1,68 @@
+// The compression back-end of the imagery pipeline: uniform dead-zone
+// quantization of wavelet coefficients followed by canonical Huffman
+// coding — the "image compression" use the paper cites for the wavelet
+// codes at Goddard. Encode/decode are exact inverses over the quantized
+// symbols (lossy only through quantization), and the achieved bitrate
+// feeds the workload model's output size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/wavelet/wavelet2d.hpp"
+
+namespace ess::apps::wavelet {
+
+/// Quantize with a uniform dead-zone quantizer; symbols are clamped to
+/// [-32000, 32000] (multi-level approximation bands scale with 2^levels).
+std::vector<std::int16_t> quantize(const Plane& p, double step);
+
+/// Reconstruct coefficient values from symbols (midpoint reconstruction).
+Plane dequantize(const std::vector<std::int16_t>& symbols, int n,
+                 double step);
+
+/// A canonical Huffman code over the symbol alphabet.
+class HuffmanCode {
+ public:
+  /// Build from symbol frequencies (alphabet = values present in `data`).
+  static HuffmanCode build(const std::vector<std::int16_t>& data);
+
+  /// Encode to a bit-packed buffer. The code table is not serialized
+  /// (both sides build it from the same statistics in this in-process
+  /// pipeline); encoded_bits() reports the exact payload size.
+  std::vector<std::uint8_t> encode(const std::vector<std::int16_t>& data) const;
+  std::vector<std::int16_t> decode(const std::vector<std::uint8_t>& bits,
+                                   std::size_t symbol_count) const;
+
+  std::uint64_t encoded_bits(const std::vector<std::int16_t>& data) const;
+  double mean_code_length() const;  // weighted by the build frequencies
+  std::size_t alphabet_size() const { return lengths_.size(); }
+
+ private:
+  struct Entry {
+    std::uint32_t code = 0;
+    std::uint8_t length = 0;
+  };
+  // symbol -> entry, and the canonical decode tables.
+  std::vector<std::int16_t> symbols_;        // sorted alphabet
+  std::vector<std::uint8_t> lengths_;        // per alphabet index
+  std::vector<Entry> encode_table_;          // per alphabet index
+  std::vector<std::uint64_t> freq_;          // per alphabet index
+
+  int index_of(std::int16_t symbol) const;
+};
+
+struct CompressionResult {
+  double step = 0;
+  std::uint64_t payload_bytes = 0;
+  double bits_per_pixel = 0;
+  double psnr_db = 0;  // reconstruction quality vs the original plane
+};
+
+/// End-to-end: forward transform (D4), quantize, Huffman-encode, decode,
+/// dequantize, inverse transform, measure PSNR. Exercises every stage and
+/// returns the numbers the workload model uses.
+CompressionResult compress_roundtrip(const Plane& image, int levels,
+                                     double step);
+
+}  // namespace ess::apps::wavelet

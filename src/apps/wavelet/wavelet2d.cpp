@@ -1,0 +1,187 @@
+#include "apps/wavelet/wavelet2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ess::apps::wavelet {
+namespace {
+
+// Daubechies-4 analysis coefficients.
+constexpr double kSqrt3 = 1.7320508075688772;
+constexpr double kD4Norm = 4.0 * 1.4142135623730951;  // 4*sqrt(2)
+constexpr double h0 = (1.0 + kSqrt3) / kD4Norm;
+constexpr double h1 = (3.0 + kSqrt3) / kD4Norm;
+constexpr double h2 = (3.0 - kSqrt3) / kD4Norm;
+constexpr double h3 = (1.0 - kSqrt3) / kD4Norm;
+// Wavelet (high-pass) coefficients: g_k = (-1)^k h_{3-k}.
+constexpr double g0 = h3;
+constexpr double g1 = -h2;
+constexpr double g2 = h1;
+constexpr double g3 = -h0;
+
+constexpr double kInvSqrt2 = 0.7071067811865476;
+
+// 1-D forward step on v[0..n): first half <- approximations, second half
+// <- details. Periodic extension. Returns flop count.
+std::uint64_t fwd1d(std::vector<double>& scratch, const double* v, double* out,
+                    int n, Filter f) {
+  (void)scratch;
+  const int half = n / 2;
+  if (f == Filter::kHaar) {
+    for (int i = 0; i < half; ++i) {
+      const double a = v[2 * i], b = v[2 * i + 1];
+      out[i] = (a + b) * kInvSqrt2;
+      out[half + i] = (a - b) * kInvSqrt2;
+    }
+    return static_cast<std::uint64_t>(half) * 4;
+  }
+  for (int i = 0; i < half; ++i) {
+    const int k = 2 * i;
+    const double a = v[k];
+    const double b = v[(k + 1) % n];
+    const double c = v[(k + 2) % n];
+    const double d = v[(k + 3) % n];
+    out[i] = h0 * a + h1 * b + h2 * c + h3 * d;
+    out[half + i] = g0 * a + g1 * b + g2 * c + g3 * d;
+  }
+  return static_cast<std::uint64_t>(half) * 14;
+}
+
+// Exact inverse of fwd1d.
+std::uint64_t inv1d(const double* v, double* out, int n, Filter f) {
+  const int half = n / 2;
+  if (f == Filter::kHaar) {
+    for (int i = 0; i < half; ++i) {
+      const double s = v[i], d = v[half + i];
+      out[2 * i] = (s + d) * kInvSqrt2;
+      out[2 * i + 1] = (s - d) * kInvSqrt2;
+    }
+    return static_cast<std::uint64_t>(half) * 4;
+  }
+  // D4 synthesis: x[2i] and x[2i+1] gather from two neighbouring (s, d)
+  // pairs (periodic).
+  for (int i = 0; i < half; ++i) {
+    const int im = (i - 1 + half) % half;
+    const double s_im = v[im], d_im = v[half + im];
+    const double s_i = v[i], d_i = v[half + i];
+    out[2 * i] = h2 * s_im + g2 * d_im + h0 * s_i + g0 * d_i;
+    out[2 * i + 1] = h3 * s_im + g3 * d_im + h1 * s_i + g1 * d_i;
+  }
+  return static_cast<std::uint64_t>(half) * 14;
+}
+
+}  // namespace
+
+TransformStats forward2d(Plane& p, int levels, Filter f) {
+  const int n = p.size();
+  if (n < 2 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("plane size must be a power of two");
+  }
+  if (levels < 1 || (n >> levels) < 1) {
+    throw std::invalid_argument("bad level count");
+  }
+  TransformStats stats;
+  std::vector<double> row(static_cast<std::size_t>(n));
+  std::vector<double> out(static_cast<std::size_t>(n));
+  std::vector<double> scratch;
+
+  int m = n;
+  for (int lv = 0; lv < levels; ++lv, m /= 2) {
+    // Rows.
+    for (int r = 0; r < m; ++r) {
+      for (int c = 0; c < m; ++c) row[c] = p.at(r, c);
+      stats.flops += fwd1d(scratch, row.data(), out.data(), m, f);
+      for (int c = 0; c < m; ++c) p.at(r, c) = out[c];
+    }
+    // Columns.
+    for (int c = 0; c < m; ++c) {
+      for (int r = 0; r < m; ++r) row[r] = p.at(r, c);
+      stats.flops += fwd1d(scratch, row.data(), out.data(), m, f);
+      for (int r = 0; r < m; ++r) p.at(r, c) = out[r];
+    }
+  }
+  return stats;
+}
+
+TransformStats inverse2d(Plane& p, int levels, Filter f) {
+  const int n = p.size();
+  TransformStats stats;
+  std::vector<double> col(static_cast<std::size_t>(n));
+  std::vector<double> out(static_cast<std::size_t>(n));
+
+  int m = n >> (levels - 1);
+  for (int lv = 0; lv < levels; ++lv, m *= 2) {
+    // Columns first (inverse order of the forward pass).
+    for (int c = 0; c < m; ++c) {
+      for (int r = 0; r < m; ++r) col[r] = p.at(r, c);
+      stats.flops += inv1d(col.data(), out.data(), m, f);
+      for (int r = 0; r < m; ++r) p.at(r, c) = out[r];
+    }
+    for (int r = 0; r < m; ++r) {
+      for (int c = 0; c < m; ++c) col[c] = p.at(r, c);
+      stats.flops += inv1d(col.data(), out.data(), m, f);
+      for (int c = 0; c < m; ++c) p.at(r, c) = out[c];
+    }
+  }
+  return stats;
+}
+
+double energy(const Plane& p) {
+  double e = 0;
+  for (const double v : p.data()) e += v * v;
+  return e;
+}
+
+std::uint64_t near_zero(const Plane& p, double threshold) {
+  std::uint64_t n = 0;
+  for (const double v : p.data()) {
+    if (std::abs(v) <= threshold) ++n;
+  }
+  return n;
+}
+
+Plane synthetic_scene(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Plane p(n);
+  // Smooth terrain: a few random low-frequency cosine modes.
+  struct Mode {
+    double kx, ky, phase, amp;
+  };
+  std::vector<Mode> modes;
+  for (int i = 0; i < 6; ++i) {
+    modes.push_back(Mode{rng.uniform01() * 4.0, rng.uniform01() * 4.0,
+                         rng.uniform01() * 6.283, 20.0 + 20.0 * rng.uniform01()});
+  }
+  const double two_pi_over_n = 6.283185307179586 / n;
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      double v = 128.0;
+      for (const auto& m : modes) {
+        v += m.amp *
+             std::cos(two_pi_over_n * (m.kx * c + m.ky * r) + m.phase);
+      }
+      p.at(r, c) = v;
+    }
+  }
+  // Linear features (roads/rivers): bright bands.
+  for (int k = 0; k < 4; ++k) {
+    const double slope = rng.uniform01() * 2.0 - 1.0;
+    const auto inter = static_cast<double>(rng.uniform(n));
+    for (int c = 0; c < n; ++c) {
+      const int r = static_cast<int>(inter + slope * c);
+      if (r >= 0 && r < n) p.at(r, c) += 40.0;
+    }
+  }
+  // Speckle + clamp to 8-bit range.
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      double v = p.at(r, c) + rng.normal(0.0, 4.0);
+      p.at(r, c) = std::min(255.0, std::max(0.0, v));
+    }
+  }
+  return p;
+}
+
+}  // namespace ess::apps::wavelet

@@ -1,0 +1,60 @@
+// 2-D discrete wavelet transform (Haar and Daubechies-4), the satellite
+// imagery workload: "multi-resolution wavelet decomposition ... for ESS
+// satellite imagery applications such as image registration and
+// compression" (El-Ghazawi & Le Moigne).
+//
+// Both filters implement a full multi-level 2-D Mallat decomposition with
+// periodic boundary handling, plus the exact inverse (used by round-trip
+// property tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ess::apps::wavelet {
+
+enum class Filter : std::uint8_t { kHaar, kDaub4 };
+
+/// A square image/coefficient plane of doubles, size n x n (n power of 2).
+class Plane {
+ public:
+  Plane() = default;
+  explicit Plane(int n) : n_(n), data_(static_cast<std::size_t>(n) * n, 0.0) {}
+
+  int size() const { return n_; }
+  double& at(int row, int col) { return data_[idx(row, col)]; }
+  double at(int row, int col) const { return data_[idx(row, col)]; }
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+ private:
+  std::size_t idx(int r, int c) const {
+    return static_cast<std::size_t>(r) * n_ + c;
+  }
+  int n_ = 0;
+  std::vector<double> data_;
+};
+
+struct TransformStats {
+  std::uint64_t flops = 0;
+};
+
+/// In-place multi-level 2-D forward transform: after `levels` levels, the
+/// top-left (n >> levels)^2 block holds the coarse approximation and the
+/// rest holds detail subbands (standard Mallat layout).
+TransformStats forward2d(Plane& p, int levels, Filter f);
+
+/// Exact inverse of forward2d.
+TransformStats inverse2d(Plane& p, int levels, Filter f);
+
+/// Energy (sum of squares) — invariant under the orthonormal transforms.
+double energy(const Plane& p);
+
+/// Count of coefficients with |c| <= threshold (compression potential).
+std::uint64_t near_zero(const Plane& p, double threshold);
+
+/// Generate a synthetic Landsat-like 8-bit scene (smooth terrain + linear
+/// features + speckle) of size n x n; deterministic in `seed`.
+Plane synthetic_scene(int n, std::uint64_t seed);
+
+}  // namespace ess::apps::wavelet

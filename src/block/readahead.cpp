@@ -1,0 +1,21 @@
+#include "block/readahead.hpp"
+
+#include <algorithm>
+
+namespace ess::block {
+
+std::uint32_t ReadAhead::advise(std::uint64_t block, std::uint32_t count) {
+  // Sequential means the application continues where its previous read
+  // ended — the read-ahead overshoot is not counted, since the next app
+  // read lands before the window's end (partially cache-hot).
+  const bool sequential = next_expected_ != 0 && block == next_expected_;
+  if (sequential) {
+    window_ = std::min(ceiling_, window_ == 0 ? 2u : window_ * 2u);
+  } else {
+    window_ = 0;  // a seek: no read-ahead until the stream looks sequential
+  }
+  next_expected_ = block + count;
+  return window_;
+}
+
+}  // namespace ess::block

@@ -1,0 +1,34 @@
+// Sequential read-ahead policy.
+//
+// Tracks per-stream (per open file) access patterns. On a sequential streak
+// the window doubles 1 -> 2 -> 4 -> 8 -> ... up to the ceiling; a seek
+// resets it. The ceiling models the 16 KB primary cache of the Beowulf node
+// ("requests approaching 16 KB ... are a result of the 16 KB cache").
+#pragma once
+
+#include <cstdint>
+
+namespace ess::block {
+
+class ReadAhead {
+ public:
+  explicit ReadAhead(std::uint32_t ceiling_blocks = 16)
+      : ceiling_(ceiling_blocks) {}
+
+  /// Report a logical read of [block, block+count) and get the number of
+  /// extra blocks to read ahead beyond the request.
+  std::uint32_t advise(std::uint64_t block, std::uint32_t count);
+
+  void reset() { window_ = 0; next_expected_ = 0; }
+
+  std::uint32_t window() const { return window_; }
+  void set_ceiling(std::uint32_t c) { ceiling_ = c; }
+  std::uint32_t ceiling() const { return ceiling_; }
+
+ private:
+  std::uint32_t ceiling_;
+  std::uint32_t window_ = 0;        // current read-ahead size in blocks
+  std::uint64_t next_expected_ = 0; // block that continues the streak
+};
+
+}  // namespace ess::block

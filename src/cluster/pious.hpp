@@ -1,0 +1,121 @@
+// PIOUS-lite: a declustered (striped) parallel file service in the spirit
+// of PIOUS [Moyer & Sunderam 94], which the Beowulf prototype could use for
+// coordinated I/O. A parallel file is striped round-robin over the data
+// servers' local file systems; client reads/writes fan out one request per
+// stripe fragment, each costed with the Ethernet model and serviced by the
+// owning node's full local I/O stack (cache, FS, driver, disk).
+//
+// All servers share one simulation engine so that fragment services overlap
+// honestly in virtual time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "block/buffer_cache.hpp"
+#include "cluster/ethernet.hpp"
+#include "disk/drive.hpp"
+#include "driver/ide_driver.hpp"
+#include "fs/ext2lite.hpp"
+#include "sim/engine.hpp"
+#include "trace/ring_buffer.hpp"
+
+namespace ess::cluster {
+
+struct PiousConfig {
+  int servers = 4;
+  std::uint64_t stripe_unit = 16 * 1024;  // bytes per fragment
+  EthernetConfig ethernet;
+  disk::ServiceParams disk;
+  std::size_t cache_blocks = 3072;
+  std::uint64_t fs_blocks = 509'040;
+};
+
+/// One data server: its own disk, driver, cache and file system, attached
+/// to the shared engine.
+class PiousServer {
+ public:
+  PiousServer(sim::Engine& engine, const PiousConfig& cfg, int id);
+
+  fs::Ext2Lite& fsys() { return *fs_; }
+  const disk::DriveStats& disk_stats() const { return drive_->stats(); }
+  trace::RingBuffer& ring() { return ring_; }
+  int id() const { return id_; }
+
+ private:
+  int id_;
+  std::unique_ptr<disk::Drive> drive_;
+  trace::RingBuffer ring_;
+  std::unique_ptr<driver::IdeDriver> driver_;
+  std::unique_ptr<block::BufferCache> cache_;
+  std::unique_ptr<fs::Ext2Lite> fs_;
+};
+
+struct PiousStats {
+  std::uint64_t opens = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t fragments = 0;
+};
+
+class PiousService {
+ public:
+  explicit PiousService(PiousConfig cfg);
+
+  using Done = std::function<void()>;
+  using FileId = std::uint32_t;
+
+  FileId create(const std::string& name);
+  FileId open(const std::string& name);
+
+  /// Striped read/write of [offset, offset+len). `done` fires when every
+  /// fragment completed (network + server I/O).
+  void read(FileId f, std::uint64_t offset, std::uint64_t len, Done done);
+  void write(FileId f, std::uint64_t offset, std::uint64_t len, Done done);
+
+  std::uint64_t size_of(FileId f) const;
+
+  sim::Engine& engine() { return engine_; }
+  PiousServer& server(int i) { return *servers_.at(i); }
+  int server_count() const { return static_cast<int>(servers_.size()); }
+  const PiousStats& stats() const { return stats_; }
+
+  /// Aggregate bandwidth of a timed whole-file read (helper for benches):
+  /// returns MB/s of virtual time.
+  double timed_read_bandwidth(FileId f, std::uint64_t chunk);
+
+ private:
+  struct ParallelFile {
+    std::string name;
+    std::vector<fs::Ino> fragment_inos;  // one per server
+    std::uint64_t size = 0;
+  };
+
+  struct Fragment {
+    int server;
+    std::uint64_t frag_offset;
+    std::uint64_t len;
+  };
+  std::vector<Fragment> fragments_of(std::uint64_t offset,
+                                     std::uint64_t len) const;
+
+  /// Reserve the shared Ethernet for a transfer of `bytes`; returns the
+  /// delay from now() until the transfer completes. Latency overlaps;
+  /// the bandwidth portion serializes on the medium.
+  SimTime reserve_link(std::uint64_t bytes);
+
+  PiousConfig cfg_;
+  sim::Engine engine_;
+  EthernetModel net_;
+  SimTime link_busy_until_ = 0;
+  std::vector<std::unique_ptr<PiousServer>> servers_;
+  std::vector<ParallelFile> files_;
+  PiousStats stats_;
+};
+
+}  // namespace ess::cluster

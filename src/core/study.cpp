@@ -1,0 +1,138 @@
+#include "core/study.hpp"
+
+#include <stdexcept>
+
+#include "kernel/node_kernel.hpp"
+
+namespace ess::core {
+
+std::string to_string(AppKind k) {
+  switch (k) {
+    case AppKind::kPpm:
+      return "PPM";
+    case AppKind::kWavelet:
+      return "Wavelet";
+    case AppKind::kNBody:
+      return "N-Body";
+  }
+  return "?";
+}
+
+Study::Study(StudyConfig cfg) : cfg_(std::move(cfg)) {}
+
+const Artifacts& Study::artifacts() {
+  if (!artifacts_) {
+    Artifacts a;
+    Rng rng(cfg_.seed);
+    const double mflops = cfg_.node.cpu_mflops;
+    a.ppm = apps::ppm::run_ppm(cfg_.ppm, mflops, rng);
+    a.wavelet = apps::wavelet::run_wavelet(cfg_.wavelet, mflops, rng);
+    a.nbody = apps::nbody::run_nbody(cfg_.nbody, mflops, rng);
+    artifacts_ = std::move(a);
+  }
+  return *artifacts_;
+}
+
+const workload::OpTrace& Study::trace_for(AppKind kind) {
+  const Artifacts& a = artifacts();
+  switch (kind) {
+    case AppKind::kPpm:
+      return a.ppm.trace;
+    case AppKind::kWavelet:
+      return a.wavelet.trace;
+    case AppKind::kNBody:
+      return a.nbody.trace;
+  }
+  throw std::logic_error("bad AppKind");
+}
+
+RunResult Study::run_baseline() {
+  kernel::NodeKernel node(cfg_.node);
+  node.run_for(cfg_.settle_time);
+  const SimTime t0 = node.now();
+  node.ioctl_trace(driver::TraceLevel::kStandard);
+  node.run_for(cfg_.baseline_duration);
+  node.ioctl_trace(driver::TraceLevel::kOff);
+  RunResult res;
+  res.trace = node.collect_trace("Baseline");
+  res.trace.rebase(t0);
+  res.trace.set_duration(cfg_.baseline_duration);
+  res.run_time = cfg_.baseline_duration;
+  return res;
+}
+
+RunResult Study::run_single(AppKind kind) {
+  return run_custom(to_string(kind), {trace_for(kind)});
+}
+
+RunResult Study::run_combined() {
+  kernel::KernelConfig node_cfg = cfg_.node;
+  node_cfg.max_coalesce_blocks = cfg_.combined_coalesce_blocks;
+  node_cfg.readahead_ceiling_blocks = cfg_.combined_readahead_blocks;
+  return run_custom(
+      "Combined",
+      {trace_for(AppKind::kPpm), trace_for(AppKind::kWavelet),
+       trace_for(AppKind::kNBody)},
+      0, node_cfg);
+}
+
+RunResult Study::run_custom(const std::string& name,
+                            std::vector<workload::OpTrace> workloads,
+                            SimTime duration,
+                            std::optional<kernel::KernelConfig> node_override) {
+  kernel::NodeKernel node(node_override ? *node_override : cfg_.node);
+
+  // Stage every declared input (and the program images) before tracing, as
+  // the experimenters did: instrumentation is switched on by ioctl once
+  // the system is set up.
+  for (const auto& w : workloads) {
+    if (w.image_bytes > 0) {
+      node.stage_input_file("/bin/" + w.app_name, w.image_bytes,
+                            node.config().layout.image_region_block);
+      // The binaries are hot in the buffer cache from recent use (compile,
+      // previous runs); a larger-than-cache image stays partially cold.
+      node.warm_file("/bin/" + w.app_name, w.image_warm_fraction);
+    }
+    for (const auto& f : w.files) {
+      if (!f.create && f.input_size > 0) {
+        node.stage_input_file(f.path, f.input_size, f.goal_block);
+      }
+    }
+  }
+  node.fsys().sync();
+  node.run_for(cfg_.settle_time);
+
+  const SimTime t0 = node.now();
+  node.ioctl_trace(driver::TraceLevel::kStandard);
+  for (auto& w : workloads) node.spawn(std::move(w));
+
+  RunResult res;
+  if (duration > 0) {
+    node.run_for(duration);
+    res.completed = node.all_done();
+  } else {
+    res.completed = node.run_until_done(t0 + cfg_.max_run_time);
+    // Let the tail of dirty data and the final paging settle briefly, as a
+    // real measurement would keep capturing for a few seconds.
+    node.run_for(sec(35));
+  }
+  node.ioctl_trace(driver::TraceLevel::kOff);
+  res.trace = node.collect_trace(name);
+  res.trace.rebase(t0);
+  res.run_time = res.trace.duration();
+  return res;
+}
+
+std::vector<analysis::TraceSummary> Study::table1(bool include_combined) {
+  std::vector<analysis::TraceSummary> rows;
+  rows.push_back(analysis::summarize(run_baseline().trace));
+  rows.push_back(analysis::summarize(run_single(AppKind::kPpm).trace));
+  rows.push_back(analysis::summarize(run_single(AppKind::kWavelet).trace));
+  rows.push_back(analysis::summarize(run_single(AppKind::kNBody).trace));
+  if (include_combined) {
+    rows.push_back(analysis::summarize(run_combined().trace));
+  }
+  return rows;
+}
+
+}  // namespace ess::core

@@ -1,0 +1,72 @@
+#include "disk/drive.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ess::disk {
+
+Drive::Drive(sim::Engine& engine, ServiceModel model, SchedulerKind sched,
+             std::uint32_t max_merge_sectors)
+    : engine_(engine),
+      model_(std::move(model)),
+      sched_(make_scheduler(sched)),
+      max_merge_sectors_(max_merge_sectors) {}
+
+std::uint64_t Drive::submit(Request req, Completion done) {
+  if (req.sector_count == 0) throw std::invalid_argument("empty disk request");
+  if (req.end_sector() > model_.geometry().total_sectors()) {
+    throw std::out_of_range("disk request beyond end of device");
+  }
+  req.id = next_id_++;
+  req.issue_time = engine_.now();
+  if (max_merge_sectors_ > 0) {
+    if (const auto host = sched_->try_merge(req, max_merge_sectors_)) {
+      ++stats_.merged;
+      if (done) completions_[*host].push_back(std::move(done));
+      return *host;  // absorbed: completes with the host request
+    }
+  }
+  if (done) completions_[req.id].push_back(std::move(done));
+  sched_->push(req);
+  ++pending_;
+  if (!busy_) start_next();
+  return req.id;
+}
+
+void Drive::start_next() {
+  const auto next = sched_->pop(head_sector_);
+  if (!next) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  const Request req = *next;
+  const SimTime start = engine_.now();
+  const SimTime dur = model_.service_time(
+      req, start, model_.geometry().cylinder_of(head_sector_));
+
+  stats_.requests++;
+  stats_.total_queue_delay += start - req.issue_time;
+  if (req.dir == Dir::kRead) {
+    stats_.reads++;
+    stats_.sectors_read += req.sector_count;
+  } else {
+    stats_.writes++;
+    stats_.sectors_written += req.sector_count;
+  }
+  stats_.busy_time += dur;
+
+  engine_.schedule_after(dur, [this, req] {
+    head_sector_ = req.end_sector() - 1;
+    --pending_;
+    const auto it = completions_.find(req.id);
+    if (it != completions_.end()) {
+      auto cbs = std::move(it->second);
+      completions_.erase(it);
+      for (auto& cb : cbs) cb(req);
+    }
+    start_next();
+  });
+}
+
+}  // namespace ess::disk

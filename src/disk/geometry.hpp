@@ -1,0 +1,36 @@
+// Disk geometry for the simulated ~500 MB IDE drive of the Beowulf node.
+#pragma once
+
+#include <cstdint>
+
+namespace ess::disk {
+
+inline constexpr std::uint32_t kSectorSize = 512;  // bytes
+
+/// Classic cylinder/head/sector geometry. LBA n maps to
+/// cylinder = n / (heads * spt), etc.
+struct Geometry {
+  std::uint32_t cylinders = 1010;
+  std::uint32_t heads = 16;
+  std::uint32_t sectors_per_track = 63;
+
+  constexpr std::uint64_t total_sectors() const {
+    return std::uint64_t{cylinders} * heads * sectors_per_track;
+  }
+  constexpr std::uint64_t capacity_bytes() const {
+    return total_sectors() * kSectorSize;
+  }
+  constexpr std::uint32_t cylinder_of(std::uint64_t lba) const {
+    return static_cast<std::uint32_t>(
+        lba / (std::uint64_t{heads} * sectors_per_track));
+  }
+  constexpr std::uint32_t sector_in_track(std::uint64_t lba) const {
+    return static_cast<std::uint32_t>(lba % sectors_per_track);
+  }
+};
+
+/// The prototype Beowulf node disk: ~500 MB.
+/// 1010 * 16 * 63 = 1,018,080 sectors = 497.1 MB.
+inline constexpr Geometry beowulf_geometry() { return Geometry{}; }
+
+}  // namespace ess::disk

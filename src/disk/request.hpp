@@ -1,0 +1,23 @@
+// A physical disk request as seen by the device driver.
+#pragma once
+
+#include <cstdint>
+
+#include "util/sim_time.hpp"
+
+namespace ess::disk {
+
+enum class Dir : std::uint8_t { kRead = 0, kWrite = 1 };
+
+struct Request {
+  std::uint64_t id = 0;
+  std::uint64_t sector = 0;       // first LBA
+  std::uint32_t sector_count = 0; // number of sectors
+  Dir dir = Dir::kRead;
+  SimTime issue_time = 0;         // when the driver queued it
+
+  std::uint64_t end_sector() const { return sector + sector_count; }
+  std::uint64_t bytes() const { return std::uint64_t{sector_count} * 512; }
+};
+
+}  // namespace ess::disk

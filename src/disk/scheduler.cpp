@@ -1,0 +1,77 @@
+#include "disk/scheduler.hpp"
+
+#include <algorithm>
+
+namespace ess::disk {
+
+std::optional<std::uint64_t> Scheduler::try_merge(const Request&,
+                                                  std::uint32_t) {
+  return std::nullopt;
+}
+
+void FifoScheduler::push(const Request& req) { queue_.push_back(req); }
+
+std::optional<Request> FifoScheduler::pop(std::uint64_t /*head_sector*/) {
+  if (queue_.empty()) return std::nullopt;
+  Request r = queue_.front();
+  queue_.pop_front();
+  return r;
+}
+
+void ElevatorScheduler::push(const Request& req) {
+  const auto it = std::upper_bound(
+      queue_.begin(), queue_.end(), req,
+      [](const Request& a, const Request& b) { return a.sector < b.sector; });
+  queue_.insert(it, req);
+}
+
+std::optional<std::uint64_t> ElevatorScheduler::try_merge(
+    const Request& req, std::uint32_t max_sectors) {
+  if (max_sectors == 0) return std::nullopt;
+  // The queue is sorted by sector: only the neighbours of the insertion
+  // point can be physically adjacent.
+  const auto it = std::lower_bound(
+      queue_.begin(), queue_.end(), req,
+      [](const Request& a, const Request& b) { return a.sector < b.sector; });
+  // Back-merge: predecessor ends exactly where req starts.
+  if (it != queue_.begin()) {
+    auto& prev = *std::prev(it);
+    if (prev.dir == req.dir && prev.end_sector() == req.sector &&
+        prev.sector_count + req.sector_count <= max_sectors) {
+      prev.sector_count += req.sector_count;
+      return prev.id;
+    }
+  }
+  // Front-merge: req ends exactly where the successor starts.
+  if (it != queue_.end() && it->dir == req.dir &&
+      req.end_sector() == it->sector &&
+      it->sector_count + req.sector_count <= max_sectors) {
+    it->sector = req.sector;
+    it->sector_count += req.sector_count;
+    return it->id;
+  }
+  return std::nullopt;
+}
+
+std::optional<Request> ElevatorScheduler::pop(std::uint64_t head_sector) {
+  if (queue_.empty()) return std::nullopt;
+  auto it = std::lower_bound(
+      queue_.begin(), queue_.end(), head_sector,
+      [](const Request& a, std::uint64_t s) { return a.sector < s; });
+  if (it == queue_.end()) it = queue_.begin();  // sweep back to the bottom
+  Request r = *it;
+  queue_.erase(it);
+  return r;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kFifo:
+      return std::make_unique<FifoScheduler>();
+    case SchedulerKind::kElevator:
+      return std::make_unique<ElevatorScheduler>();
+  }
+  return nullptr;
+}
+
+}  // namespace ess::disk

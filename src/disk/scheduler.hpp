@@ -1,0 +1,67 @@
+// Disk request scheduling disciplines.
+//
+// Linux 1.x used a one-way elevator (C-LOOK-like) in ll_rw_blk; we provide
+// that plus FIFO for ablation experiments.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "disk/request.hpp"
+
+namespace ess::disk {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual void push(const Request& req) = 0;
+
+  /// Pop the next request to service given the current head position.
+  virtual std::optional<Request> pop(std::uint64_t head_sector) = 0;
+
+  /// Try to absorb `req` into a queued adjacent request of the same
+  /// direction, keeping the merged size within `max_sectors`. Returns the
+  /// id of the absorbing request, or nullopt if no merge happened.
+  /// Default: merging unsupported.
+  virtual std::optional<std::uint64_t> try_merge(const Request& req,
+                                                 std::uint32_t max_sectors);
+
+  virtual std::size_t size() const = 0;
+  bool empty() const { return size() == 0; }
+};
+
+/// First-in first-out.
+class FifoScheduler final : public Scheduler {
+ public:
+  void push(const Request& req) override;
+  std::optional<Request> pop(std::uint64_t head_sector) override;
+  std::size_t size() const override { return queue_.size(); }
+
+ private:
+  std::deque<Request> queue_;
+};
+
+/// One-way elevator (C-LOOK): service requests in ascending sector order
+/// starting from the head position; when none remain above the head, sweep
+/// back to the lowest pending request.
+class ElevatorScheduler final : public Scheduler {
+ public:
+  void push(const Request& req) override;
+  std::optional<Request> pop(std::uint64_t head_sector) override;
+  std::optional<std::uint64_t> try_merge(const Request& req,
+                                         std::uint32_t max_sectors) override;
+  std::size_t size() const override { return queue_.size(); }
+
+ private:
+  // Sorted by sector; small queues in practice, so a vector is fine.
+  std::vector<Request> queue_;
+};
+
+enum class SchedulerKind { kFifo, kElevator };
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind);
+
+}  // namespace ess::disk

@@ -1,0 +1,41 @@
+#include "disk/service_model.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace ess::disk {
+
+SimTime ServiceModel::service_time(const Request& req, SimTime start,
+                                   std::uint32_t head_cylinder) const {
+  const std::uint32_t target_cyl = geo_.cylinder_of(req.sector);
+  const auto dist = static_cast<std::uint32_t>(
+      std::abs(static_cast<std::int64_t>(target_cyl) -
+               static_cast<std::int64_t>(head_cylinder)));
+
+  double total_us = params_.controller_overhead_us;
+  if (dist > 0) {
+    total_us += params_.seek_base_us +
+                params_.seek_factor_us * std::sqrt(static_cast<double>(dist));
+  }
+
+  // Rotational latency: wait for the target sector to come under the head.
+  // The platter angle is a deterministic function of virtual time.
+  const SimTime period = rotation_period();
+  const SimTime arrive =
+      start + static_cast<SimTime>(total_us);  // head is on-cylinder here
+  const double sector_angle_us =
+      static_cast<double>(period) / geo_.sectors_per_track;
+  const auto target_offset_us = static_cast<SimTime>(
+      sector_angle_us * geo_.sector_in_track(req.sector));
+  const SimTime in_rotation = arrive % period;
+  SimTime rot_wait = (target_offset_us + period - in_rotation) % period;
+  total_us += static_cast<double>(rot_wait);
+
+  // Media transfer.
+  const double bytes = static_cast<double>(req.bytes());
+  total_us += bytes / (params_.transfer_mb_per_s * 1e6) * 1e6;
+
+  return static_cast<SimTime>(total_us);
+}
+
+}  // namespace ess::disk

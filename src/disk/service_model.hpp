@@ -1,0 +1,49 @@
+// Service-time model for a mid-1990s IDE drive.
+//
+// seek: a + b * sqrt(cylinder distance) (zero if same cylinder)
+// rotation: deterministic from the platter angle implied by virtual time
+// transfer: sectors / media rate
+// plus a fixed controller overhead per request.
+#pragma once
+
+#include <cstdint>
+
+#include "disk/geometry.hpp"
+#include "disk/request.hpp"
+#include "util/sim_time.hpp"
+
+namespace ess::disk {
+
+struct ServiceParams {
+  // Representative of a 1995 ~500 MB IDE drive (e.g. Conner/WD AC2540):
+  double seek_base_us = 3000.0;    // settle + minimum seek
+  double seek_factor_us = 350.0;   // multiplies sqrt(cylinder distance)
+  std::uint32_t rpm = 4500;
+  double transfer_mb_per_s = 2.5;  // sustained media rate
+  double controller_overhead_us = 500.0;
+};
+
+class ServiceModel {
+ public:
+  ServiceModel(Geometry geo, ServiceParams params)
+      : geo_(geo), params_(params) {}
+
+  /// Time to service `req` if started at time `start` with the head at
+  /// `head_cylinder`. Deterministic: the rotational position is derived
+  /// from `start` modulo the rotation period.
+  SimTime service_time(const Request& req, SimTime start,
+                       std::uint32_t head_cylinder) const;
+
+  const Geometry& geometry() const { return geo_; }
+  const ServiceParams& params() const { return params_; }
+
+  SimTime rotation_period() const {
+    return static_cast<SimTime>(60.0 * 1e6 / params_.rpm);
+  }
+
+ private:
+  Geometry geo_;
+  ServiceParams params_;
+};
+
+}  // namespace ess::disk

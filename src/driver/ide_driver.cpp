@@ -1,0 +1,50 @@
+#include "driver/ide_driver.hpp"
+
+namespace ess::driver {
+
+IdeDriver::IdeDriver(disk::Drive& drive, trace::RingBuffer* trace_buf)
+    : drive_(drive), trace_buf_(trace_buf) {}
+
+void IdeDriver::submit(std::uint64_t sector, std::uint32_t sector_count,
+                       disk::Dir dir, Completion done) {
+  ++stats_.requests_issued;
+  stats_.max_request_bytes =
+      std::max<std::uint64_t>(stats_.max_request_bytes,
+                              std::uint64_t{sector_count} * disk::kSectorSize);
+  // "a count of the remaining I/O requests to be processed": includes the
+  // request being issued.
+  emit(sector, sector_count, dir, drive_.outstanding() + 1);
+
+  disk::Request req;
+  req.sector = sector;
+  req.sector_count = sector_count;
+  req.dir = dir;
+  const bool verbose =
+      level_ == TraceLevel::kVerbose && trace_buf_ != nullptr;
+  if (done || verbose) {
+    drive_.submit(req, [this, verbose,
+                        done = std::move(done)](const disk::Request& r) {
+      if (verbose) emit(r.sector, r.sector_count, r.dir, drive_.outstanding());
+      if (done) done();
+    });
+  } else {
+    drive_.submit(req);
+  }
+}
+
+void IdeDriver::emit(std::uint64_t sector, std::uint32_t sector_count,
+                     disk::Dir dir, std::size_t outstanding) {
+  if (level_ == TraceLevel::kOff || trace_buf_ == nullptr) return;
+  trace::Record r;
+  // Timestamp is taken inside the driver handler, before queueing delay.
+  r.timestamp = drive_.now();
+  r.sector = static_cast<std::uint32_t>(sector);
+  r.size_bytes = sector_count * disk::kSectorSize;
+  r.is_write = dir == disk::Dir::kWrite ? 1 : 0;
+  r.outstanding =
+      static_cast<std::uint16_t>(std::min<std::size_t>(outstanding, 0xffff));
+  trace_buf_->push(r);
+  ++stats_.trace_records;
+}
+
+}  // namespace ess::driver

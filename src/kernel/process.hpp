@@ -1,0 +1,52 @@
+// A simulated user process: an OpTrace being executed by the kernel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fs/ext2lite.hpp"
+#include "mm/frame_pool.hpp"
+#include "util/sim_time.hpp"
+#include "workload/op.hpp"
+
+namespace ess::kernel {
+
+enum class ProcState : std::uint8_t {
+  kReady,
+  kRunning,
+  kBlocked,  // waiting for disk I/O
+  kDone,
+};
+
+struct ProcessStats {
+  SimTime cpu_time = 0;
+  SimTime blocked_time = 0;
+  std::uint64_t syscalls = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+struct Process {
+  mm::Pid pid = 0;
+  int rank = -1;  // PVM rank; -1 for purely local processes
+  workload::OpTrace trace;
+  ProcState state = ProcState::kReady;
+
+  // Execution cursor.
+  std::size_t op_index = 0;
+  SimTime compute_remaining = 0;   // unfinished part of the current ComputeOp
+  SimTime pending_charge = 0;      // kernel CPU owed (faults, copies)
+  std::size_t touch_index = 0;     // within the current TouchOp
+
+  // Resolved file table (parallel to trace.files).
+  std::vector<fs::Ino> files;
+
+  SimTime spawn_time = 0;
+  SimTime finish_time = 0;
+  SimTime blocked_since = 0;
+  ProcessStats stats;
+
+  bool done() const { return state == ProcState::kDone; }
+};
+
+}  // namespace ess::kernel

@@ -1,0 +1,59 @@
+#include "mm/frame_pool.hpp"
+
+#include <stdexcept>
+
+namespace ess::mm {
+
+FramePool::FramePool(std::uint32_t frame_count) : frames_(frame_count) {
+  free_list_.reserve(frame_count);
+  for (std::uint32_t i = frame_count; i > 0; --i) free_list_.push_back(i - 1);
+}
+
+std::optional<FrameNo> FramePool::allocate(Pid pid, VPage vpage) {
+  if (free_list_.empty()) return std::nullopt;
+  const FrameNo f = free_list_.back();
+  free_list_.pop_back();
+  Frame& fr = frames_[f];
+  fr.in_use = true;
+  fr.pid = pid;
+  fr.vpage = vpage;
+  fr.referenced = true;
+  fr.dirty = false;
+  ++used_;
+  return f;
+}
+
+std::optional<FrameNo> FramePool::pick_victim() {
+  if (used_ == 0) return std::nullopt;
+  // Two full sweeps guarantee a victim: the first pass clears referenced
+  // bits, the second finds one clear.
+  const auto n = static_cast<std::uint32_t>(frames_.size());
+  for (std::uint32_t step = 0; step < 2 * n; ++step) {
+    Frame& fr = frames_[clock_hand_];
+    const FrameNo current = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % n;
+    if (!fr.in_use) continue;
+    if (fr.referenced) {
+      fr.referenced = false;
+      continue;
+    }
+    return current;
+  }
+  throw std::logic_error("FramePool: clock failed to find a victim");
+}
+
+void FramePool::release(FrameNo f) {
+  Frame& fr = frames_.at(f);
+  if (!fr.in_use) throw std::logic_error("FramePool: double release");
+  fr = Frame{};
+  free_list_.push_back(f);
+  --used_;
+}
+
+void FramePool::mark_referenced(FrameNo f, bool dirty_write) {
+  Frame& fr = frames_.at(f);
+  fr.referenced = true;
+  if (dirty_write) fr.dirty = true;
+}
+
+}  // namespace ess::mm

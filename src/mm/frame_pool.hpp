@@ -1,0 +1,55 @@
+// Physical page frames and the LRU-clock replacement policy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ess::mm {
+
+using FrameNo = std::uint32_t;
+using Pid = std::uint32_t;
+using VPage = std::uint64_t;
+
+inline constexpr std::uint32_t kPageSize = 4096;
+
+struct Frame {
+  bool in_use = false;
+  Pid pid = 0;
+  VPage vpage = 0;
+  bool referenced = false;
+  bool dirty = false;
+};
+
+/// All user-allocatable frames of the node (RAM minus kernel + buffer
+/// cache residency). Victim selection is a second-chance clock.
+class FramePool {
+ public:
+  explicit FramePool(std::uint32_t frame_count);
+
+  std::uint32_t total() const { return static_cast<std::uint32_t>(frames_.size()); }
+  std::uint32_t used() const { return used_; }
+  std::uint32_t free() const { return total() - used_; }
+
+  /// Allocate a free frame, or nullopt if none (caller must evict first).
+  std::optional<FrameNo> allocate(Pid pid, VPage vpage);
+
+  /// Pick an eviction victim with the clock algorithm. Frames belonging to
+  /// `skip_pid` == 0 means consider all. Returns nullopt only if no frame
+  /// is in use.
+  std::optional<FrameNo> pick_victim();
+
+  void release(FrameNo f);
+  void mark_referenced(FrameNo f, bool dirty_write);
+
+  Frame& frame(FrameNo f) { return frames_.at(f); }
+  const Frame& frame(FrameNo f) const { return frames_.at(f); }
+
+ private:
+  std::vector<Frame> frames_;
+  std::vector<FrameNo> free_list_;
+  std::uint32_t used_ = 0;
+  std::uint32_t clock_hand_ = 0;
+};
+
+}  // namespace ess::mm

@@ -1,0 +1,125 @@
+#include "mm/vm.hpp"
+
+#include <stdexcept>
+
+namespace ess::mm {
+
+Vm::Vm(FramePool& frames, SwapManager& swap, block::BufferCache& cache)
+    : frames_(frames), swap_(swap), cache_(cache) {}
+
+void Vm::create_address_space(Pid pid, std::vector<Segment> segments) {
+  if (spaces_.count(pid)) throw std::logic_error("Vm: pid already mapped");
+  spaces_.emplace(pid, AddressSpace{std::move(segments), {}});
+}
+
+void Vm::destroy_address_space(Pid pid) {
+  const auto it = spaces_.find(pid);
+  if (it == spaces_.end()) return;
+  for (auto& [vpage, ps] : it->second.pages) {
+    if (ps.present) frames_.release(ps.frame);
+    if (ps.swap_slot) swap_.free_slot(*ps.swap_slot);
+  }
+  spaces_.erase(it);
+}
+
+const Segment* Vm::find_segment(const AddressSpace& as, VPage vpage) const {
+  for (const auto& seg : as.segments) {
+    if (vpage >= seg.first_page && vpage < seg.first_page + seg.page_count) {
+      return &seg;
+    }
+  }
+  return nullptr;
+}
+
+FrameNo Vm::obtain_frame(Pid pid, VPage vpage) {
+  if (const auto f = frames_.allocate(pid, vpage)) return *f;
+
+  // Memory pressure: evict a victim (second-chance clock), swapping it out
+  // if it carries dirty anonymous data.
+  const auto victim = frames_.pick_victim();
+  if (!victim) throw std::logic_error("Vm: no evictable frame");
+  const Frame fr = frames_.frame(*victim);
+  ++stats_.evictions;
+
+  auto& vas = spaces_.at(fr.pid);
+  auto& vps = vas.pages.at(fr.vpage);
+  if (fr.dirty) {
+    // Written pages must be preserved in swap. Clean pages are dropped:
+    // file-backed ones can be re-read from the file, never-written
+    // anonymous ones are re-zero-filled, and previously-swapped clean
+    // pages still have a valid copy in their slot.
+    if (!vps.swap_slot) {
+      const auto slot = swap_.allocate();
+      if (!slot) throw std::runtime_error("Vm: swap space exhausted");
+      vps.swap_slot = slot;
+    }
+    swap_.swap_out(*vps.swap_slot);
+    ++stats_.swap_outs;
+  }
+  vps.present = false;
+  frames_.release(*victim);
+
+  const auto f = frames_.allocate(pid, vpage);
+  if (!f) throw std::logic_error("Vm: allocation failed after eviction");
+  return *f;
+}
+
+void Vm::touch(Pid pid, VPage vpage, bool is_write,
+               std::function<void(FaultKind)> done) {
+  ++stats_.touches;
+  auto& as = spaces_.at(pid);
+  const Segment* seg = find_segment(as, vpage);
+  if (seg == nullptr) {
+    throw std::out_of_range("Vm: touch outside any segment (segfault)");
+  }
+
+  auto& ps = as.pages[vpage];
+  if (ps.present) {
+    frames_.mark_referenced(ps.frame, is_write);
+    done(FaultKind::kNone);
+    return;
+  }
+
+  const FrameNo f = obtain_frame(pid, vpage);
+  ps.present = true;
+  ps.frame = f;
+  frames_.mark_referenced(f, is_write);
+
+  if (ps.swap_slot) {
+    // Page went to swap earlier: swap it back in (raw 4 KB read).
+    ++stats_.major_faults;
+    ++stats_.swap_ins;
+    swap_.swap_in(*ps.swap_slot, [done = std::move(done)] {
+      done(FaultKind::kMajor);
+    });
+    return;
+  }
+  if (seg->file_backed) {
+    // Demand-load from the executable/image file through the buffer cache:
+    // one page = 4 consecutive 1 KB blocks, coalesced to a 4 KB request
+    // when none are cached.
+    ++stats_.major_faults;
+    ++stats_.file_page_ins;
+    const block::BlockNo first =
+        seg->file_start_block + (vpage - seg->first_page) * (kPageSize / 1024);
+    cache_.read_range(first, kPageSize / 1024, [done = std::move(done)] {
+      done(FaultKind::kMajor);
+    });
+    return;
+  }
+  // Anonymous first touch: zero-fill, no I/O.
+  ++stats_.minor_faults;
+  done(FaultKind::kMinor);
+}
+
+std::uint64_t Vm::resident_pages(Pid pid) const {
+  const auto it = spaces_.find(pid);
+  if (it == spaces_.end()) return 0;
+  std::uint64_t n = 0;
+  for (const auto& [vp, ps] : it->second.pages) {
+    if (ps.present) ++n;
+  }
+  return n;
+}
+
+}  // namespace ess::mm

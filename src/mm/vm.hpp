@@ -1,0 +1,90 @@
+// Demand-paged virtual memory for the simulated node.
+//
+// Address spaces are segment lists: file-backed segments (program text and
+// initialized data, demand-loaded from the executable's blocks through the
+// buffer cache, which coalesces the four 1 KB blocks of a page into one
+// 4 KB read) and anonymous segments (zero-fill on first touch; dirty
+// evictions go to swap as raw 4 KB writes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "block/buffer_cache.hpp"
+#include "mm/frame_pool.hpp"
+#include "mm/swap.hpp"
+
+namespace ess::mm {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,   // page was resident
+  kMinor = 1,  // satisfied without I/O (zero-fill)
+  kMajor = 2,  // required a disk read (file page-in or swap-in)
+};
+
+struct VmStats {
+  std::uint64_t touches = 0;
+  std::uint64_t minor_faults = 0;
+  std::uint64_t major_faults = 0;
+  std::uint64_t file_page_ins = 0;
+  std::uint64_t swap_ins = 0;
+  std::uint64_t swap_outs = 0;
+  std::uint64_t evictions = 0;
+};
+
+struct Segment {
+  VPage first_page = 0;
+  std::uint64_t page_count = 0;
+  bool file_backed = false;
+  /// For file-backed segments: device block of the file's first byte; page
+  /// p of the segment lives at file_start_block + p * 4 (pages are 4
+  /// consecutive 1 KB blocks; the image files are allocated contiguously).
+  block::BlockNo file_start_block = 0;
+};
+
+class Vm {
+ public:
+  Vm(FramePool& frames, SwapManager& swap, block::BufferCache& cache);
+
+  /// Register a process address space.
+  void create_address_space(Pid pid, std::vector<Segment> segments);
+  void destroy_address_space(Pid pid);
+
+  /// Touch a virtual page. `done(kind)` fires when the access can proceed —
+  /// synchronously for resident/zero-fill pages, after disk I/O for major
+  /// faults. Eviction of a dirty victim issues its swap-out write first.
+  void touch(Pid pid, VPage vpage, bool is_write,
+             std::function<void(FaultKind)> done);
+
+  /// Resident set size of a process, in pages.
+  std::uint64_t resident_pages(Pid pid) const;
+
+  const VmStats& stats() const { return stats_; }
+  FramePool& frames() { return frames_; }
+  SwapManager& swap() { return swap_; }
+
+ private:
+  struct PageState {
+    bool present = false;
+    FrameNo frame = 0;
+    std::optional<SwapSlot> swap_slot;
+  };
+  struct AddressSpace {
+    std::vector<Segment> segments;
+    std::unordered_map<VPage, PageState> pages;
+  };
+
+  const Segment* find_segment(const AddressSpace& as, VPage vpage) const;
+  FrameNo obtain_frame(Pid pid, VPage vpage);
+
+  FramePool& frames_;
+  SwapManager& swap_;
+  block::BufferCache& cache_;
+  std::unordered_map<Pid, AddressSpace> spaces_;
+  VmStats stats_;
+};
+
+}  // namespace ess::mm

@@ -1,0 +1,111 @@
+#include "pvm/fabric.hpp"
+
+#include <stdexcept>
+
+#include "kernel/node_kernel.hpp"
+
+namespace ess::pvm {
+
+Fabric::Fabric(sim::Engine& engine, cluster::EthernetConfig eth)
+    : engine_(engine), net_(eth) {}
+
+void Fabric::set_world_size(int n) {
+  if (n < 1) throw std::invalid_argument("Fabric: bad world size");
+  world_size_ = n;
+}
+
+void Fabric::register_task(int rank, kernel::NodeKernel* node,
+                           std::uint32_t pid) {
+  if (rank < 0) throw std::invalid_argument("Fabric: negative rank");
+  const auto need = static_cast<std::size_t>(rank) + 1;
+  if (tasks_.size() < need) {
+    tasks_.resize(need);
+    mailboxes_.resize(need);
+    waiting_.resize(need);
+  }
+  tasks_[static_cast<std::size_t>(rank)] = TaskId{node, pid};
+}
+
+SimTime Fabric::reserve_wire(std::uint64_t bytes) {
+  const SimTime latency = net_.config().latency;
+  const SimTime wire = net_.transfer_time(bytes) - latency;
+  const SimTime start = std::max(engine_.now(), wire_busy_until_);
+  wire_busy_until_ = start + wire;
+  stats_.wire_busy += wire;
+  return (start - engine_.now()) + wire + latency;
+}
+
+void Fabric::send(int src_rank, int dst_rank, std::uint64_t bytes, int tag) {
+  if (dst_rank < 0 || dst_rank >= task_count()) {
+    throw std::out_of_range("Fabric: bad destination rank");
+  }
+  ++stats_.sends;
+  stats_.bytes += bytes;
+  const SimTime delay = reserve_wire(bytes);
+  engine_.schedule_after(delay, [this, src_rank, dst_rank, bytes, tag] {
+    deliver(dst_rank, Message{src_rank, tag, bytes});
+  });
+}
+
+void Fabric::deliver(int dst_rank, Message m) {
+  auto& waiter = waiting_[static_cast<std::size_t>(dst_rank)];
+  if (waiter && (waiter->src == -1 || waiter->src == m.src) &&
+      waiter->tag == m.tag) {
+    waiter.reset();
+    ++stats_.recvs;
+    resume_rank(dst_rank, usec(50));  // unpack cost
+    return;
+  }
+  mailboxes_[static_cast<std::size_t>(dst_rank)].push_back(m);
+}
+
+bool Fabric::try_recv(int dst_rank, int src_rank, int tag) {
+  auto& box = mailboxes_.at(static_cast<std::size_t>(dst_rank));
+  for (auto it = box.begin(); it != box.end(); ++it) {
+    if ((src_rank == -1 || it->src == src_rank) && it->tag == tag) {
+      box.erase(it);
+      ++stats_.recvs;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Fabric::wait_recv(int dst_rank, int src_rank, int tag) {
+  auto& waiter = waiting_.at(static_cast<std::size_t>(dst_rank));
+  if (waiter) throw std::logic_error("Fabric: rank already waiting");
+  waiter = Waiter{src_rank, tag};
+}
+
+bool Fabric::enter_barrier(int rank, int group, int participants) {
+  const int needed =
+      participants > 0 ? participants
+                       : (world_size_ > 0 ? world_size_ : task_count());
+  auto& st = barriers_[group];
+  for (const int r : st.waiting) {
+    if (r == rank) throw std::logic_error("Fabric: rank already in barrier");
+  }
+  if (static_cast<int>(st.waiting.size()) + 1 < needed) {
+    st.waiting.push_back(rank);
+    return false;  // caller blocks
+  }
+
+  // Barrier complete: release the waiters (the caller proceeds inline).
+  ++stats_.barriers_completed;
+  const SimTime release_cost = net_.barrier_time(needed);
+  for (const int r : st.waiting) {
+    engine_.schedule_after(release_cost, [this, r] {
+      resume_rank(r, usec(20));
+    });
+  }
+  barriers_.erase(group);
+  return true;
+}
+
+void Fabric::resume_rank(int rank, SimTime charge) {
+  const TaskId& t = tasks_.at(static_cast<std::size_t>(rank));
+  if (t.node == nullptr) throw std::logic_error("Fabric: unbound rank");
+  t.node->external_resume(t.pid, charge);
+}
+
+}  // namespace ess::pvm

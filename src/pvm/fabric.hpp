@@ -1,0 +1,103 @@
+// PVM-style message passing between processes on the shared-engine
+// machine. The Beowulf prototype ran PVM over its dual Ethernets; this
+// fabric gives the simulated applications the same primitives — async
+// send, blocking tagged receive, and a global barrier — with transfer
+// times from the Ethernet model serialized on the shared medium.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cluster/ethernet.hpp"
+#include "kernel/fabric_iface.hpp"
+#include "sim/engine.hpp"
+#include "util/sim_time.hpp"
+
+namespace ess::kernel {
+class NodeKernel;
+}
+
+namespace ess::pvm {
+
+struct TaskId {
+  kernel::NodeKernel* node = nullptr;
+  std::uint32_t pid = 0;
+};
+
+struct FabricStats {
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t barriers_completed = 0;
+  SimTime wire_busy = 0;
+};
+
+class Fabric final : public kernel::MessageFabric {
+ public:
+  Fabric(sim::Engine& engine, cluster::EthernetConfig eth = {});
+
+  /// Declare the number of ranks before any is spawned; barriers complete
+  /// only when this many ranks have entered (guards against a rank racing
+  /// through a barrier while its peers are still being spawned).
+  void set_world_size(int n);
+  int world_size() const { return world_size_; }
+
+  /// Bind a rank to a process. Ranks must be dense 0..n-1 before use.
+  void register_task(int rank, kernel::NodeKernel* node, std::uint32_t pid);
+  int task_count() const { return static_cast<int>(tasks_.size()); }
+
+  /// Asynchronous send from `src_rank`: models pack + wire time on the
+  /// shared medium; the message becomes receivable at delivery time.
+  void send(int src_rank, int dst_rank, std::uint64_t bytes,
+            int tag) override;
+
+  /// Try to consume a matching message for `dst_rank` (src -1 = any).
+  /// Returns true on success; otherwise the caller must block and will be
+  /// resumed via NodeKernel::external_resume when a match arrives.
+  bool try_recv(int dst_rank, int src_rank, int tag) override;
+
+  /// Register the blocked receiver (call after try_recv returned false).
+  void wait_recv(int dst_rank, int src_rank, int tag) override;
+
+  /// Barrier entry for `rank` in `group` (participants 0 = the world).
+  /// Returns true if this completed the barrier (every waiter, including
+  /// the caller, proceeds); false means the caller must block and will be
+  /// resumed when the barrier fills.
+  bool enter_barrier(int rank, int group, int participants) override;
+
+  const FabricStats& stats() const { return stats_; }
+
+ private:
+  struct Message {
+    int src = 0;
+    int tag = 0;
+    std::uint64_t bytes = 0;
+  };
+  struct Waiter {
+    int src = -1;
+    int tag = 0;
+  };
+
+  SimTime reserve_wire(std::uint64_t bytes);
+  void deliver(int dst_rank, Message m);
+  void resume_rank(int rank, SimTime charge);
+
+  sim::Engine& engine_;
+  cluster::EthernetModel net_;
+  SimTime wire_busy_until_ = 0;
+  std::vector<TaskId> tasks_;                    // rank -> task
+  std::vector<std::deque<Message>> mailboxes_;   // per rank
+  std::vector<std::optional<Waiter>> waiting_;   // per rank
+  struct BarrierState {
+    std::vector<int> waiting;  // blocked ranks (excludes the completer)
+  };
+  std::map<int, BarrierState> barriers_;  // by group
+  int world_size_ = 0;  // 0: derived from registrations
+  FabricStats stats_;
+};
+
+}  // namespace ess::pvm

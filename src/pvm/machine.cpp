@@ -1,0 +1,90 @@
+#include "pvm/machine.hpp"
+
+#include <stdexcept>
+
+namespace ess::pvm {
+
+Machine::Machine(int nodes, kernel::KernelConfig node_cfg,
+                 cluster::EthernetConfig eth)
+    : fabric_(engine_, eth) {
+  if (nodes < 1) throw std::invalid_argument("Machine: no nodes");
+  for (int i = 0; i < nodes; ++i) {
+    kernel::KernelConfig cfg = node_cfg;
+    cfg.seed = node_cfg.seed + static_cast<std::uint64_t>(i) * 7919;
+    nodes_.push_back(
+        std::make_unique<kernel::NodeKernel>(engine_, cfg, i));
+    nodes_.back()->set_fabric(&fabric_);
+  }
+  // Settle every node's setup I/O together (bounded: daemons continue, so
+  // a fixed window rather than run-to-idle).
+  engine_.run_until(engine_.now() + sec(2));
+}
+
+void Machine::stage(int node_idx, const workload::OpTrace& w) {
+  auto& n = node(node_idx);
+  if (w.image_bytes > 0) {
+    n.stage_input_file("/bin/" + w.app_name, w.image_bytes,
+                       n.config().layout.image_region_block);
+    n.warm_file("/bin/" + w.app_name, w.image_warm_fraction);
+  }
+  for (const auto& f : w.files) {
+    if (!f.create && f.input_size > 0) {
+      n.stage_input_file(f.path, f.input_size, f.goal_block);
+    }
+  }
+  n.fsys().sync();
+}
+
+mm::Pid Machine::spawn_rank(int node_idx, workload::OpTrace trace,
+                            int rank) {
+  auto& n = node(node_idx);
+  // Bind the rank before the process may execute its first op (which can
+  // be a send/recv/barrier).
+  const mm::Pid pid = n.spawn_deferred(std::move(trace));
+  n.set_rank(pid, rank);
+  fabric_.register_task(rank, &n, pid);
+  if (fabric_.world_size() > 0) {
+    held_.push_back({node_idx, pid});
+    if (fabric_.task_count() >= fabric_.world_size()) {
+      for (const auto& [ni, p] : held_) node(ni).start(p);
+      held_.clear();
+    }
+  } else {
+    n.start(pid);
+  }
+  return pid;
+}
+
+void Machine::ioctl_all(driver::TraceLevel level) {
+  for (auto& n : nodes_) n->ioctl_trace(level);
+}
+
+bool Machine::all_done() const {
+  for (const auto& n : nodes_) {
+    if (!n->all_done()) return false;
+  }
+  return true;
+}
+
+bool Machine::run_until_all_done(SimTime max_time) {
+  while (!all_done() && engine_.now() < max_time) {
+    if (!engine_.step()) {
+      throw std::logic_error("Machine: deadlock — processes pending but no "
+                             "events scheduled");
+    }
+  }
+  return all_done();
+}
+
+std::vector<trace::TraceSet> Machine::collect(const std::string& experiment,
+                                              SimTime t0) {
+  std::vector<trace::TraceSet> out;
+  for (auto& n : nodes_) {
+    auto ts = n->collect_trace(experiment);
+    ts.rebase(t0);
+    out.push_back(std::move(ts));
+  }
+  return out;
+}
+
+}  // namespace ess::pvm

@@ -1,0 +1,57 @@
+// The whole Beowulf on one virtual clock: N NodeKernels sharing one
+// discrete-event engine, connected by the PVM fabric. This is the
+// substrate for true parallel-application experiments — per-node disks
+// observe I/O whose timing is shaped by cross-node communication, exactly
+// the production situation the paper measured.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/ethernet.hpp"
+#include "kernel/node_kernel.hpp"
+#include "pvm/fabric.hpp"
+#include "workload/op.hpp"
+
+namespace ess::pvm {
+
+class Machine {
+ public:
+  Machine(int nodes, kernel::KernelConfig node_cfg,
+          cluster::EthernetConfig eth = {});
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  kernel::NodeKernel& node(int i) { return *nodes_.at(static_cast<std::size_t>(i)); }
+  Fabric& fabric() { return fabric_; }
+  sim::Engine& engine() { return engine_; }
+  SimTime now() const { return engine_.now(); }
+
+  /// Stage a workload's inputs and (warmed) image on one node, as the
+  /// Study does before tracing.
+  void stage(int node_idx, const workload::OpTrace& w);
+
+  /// Spawn `trace` on a node as PVM rank `rank`. When the fabric has a
+  /// declared world size, processes are held until every rank is spawned
+  /// (so no rank can message a peer that does not exist yet); without a
+  /// world size each process starts immediately.
+  mm::Pid spawn_rank(int node_idx, workload::OpTrace trace, int rank);
+
+  void ioctl_all(driver::TraceLevel level);
+  void run_for(SimTime d) { engine_.run_until(engine_.now() + d); }
+  bool all_done() const;
+  /// Run until every process on every node finished (or the cap).
+  bool run_until_all_done(SimTime max_time);
+
+  /// Per-node traces, rebased to `t0`.
+  std::vector<trace::TraceSet> collect(const std::string& experiment,
+                                       SimTime t0);
+
+ private:
+  sim::Engine engine_;
+  Fabric fabric_;
+  std::vector<std::unique_ptr<kernel::NodeKernel>> nodes_;
+  std::vector<std::pair<int, mm::Pid>> held_;  // awaiting full world
+};
+
+}  // namespace ess::pvm

@@ -1,0 +1,58 @@
+// Parallel (PVM) variants of the three ESS workloads: per-rank OpTraces
+// with the communication structure the real codes used on the Beowulf —
+// ghost-row exchange for PPM, position allgather + lockstep barriers for
+// the oct-tree N-body, and scatter/gather image strips for the wavelet
+// pipeline (rank 0 doing the file I/O).
+//
+// The numerics come from the same sequential solvers (run once at full
+// problem size); ranks carry their share of the modelled compute and
+// memory plus the message traffic. Only the I/O-relevant structure is
+// modelled — these are workload models of SPMD programs, not re-parallel-
+// ized solvers.
+#pragma once
+
+#include <vector>
+
+#include "apps/nbody/nbody_app.hpp"
+#include "apps/ppm/ppm_app.hpp"
+#include "apps/wavelet/wavelet_app.hpp"
+#include "util/rng.hpp"
+#include "workload/op.hpp"
+
+namespace ess::pvm {
+
+/// Message tags used by the generated traces (step number is added).
+inline constexpr int kTagGhostUp = 100'000;
+inline constexpr int kTagGhostDown = 200'000;
+inline constexpr int kTagStats = 300'000;
+inline constexpr int kTagAllgather = 400'000;
+inline constexpr int kTagScatter = 500'000;
+inline constexpr int kTagGather = 600'000;
+
+/// Per-rank traces for an SPMD PPM run: the ny-dimension is split into
+/// strips; every step exchanges ghost rows with the neighbours; rank 0
+/// collects the statistics and writes the outputs.
+std::vector<workload::OpTrace> parallel_ppm(const apps::ppm::PpmConfig& cfg,
+                                            int ranks, double cpu_mflops,
+                                            Rng& rng);
+
+/// Per-rank traces for the tree code: bodies split evenly; each step
+/// computes the local share of interactions, allgathers positions, and
+/// synchronizes with a barrier; rank 0 writes checkpoints and results.
+std::vector<workload::OpTrace> parallel_nbody(
+    const apps::nbody::NBodyConfig& cfg, int ranks, double cpu_mflops,
+    Rng& rng);
+
+/// Per-rank traces for the imagery pipeline: rank 0 reads the image file,
+/// scatters row strips, all ranks decompose/search their strip, and the
+/// coefficients are gathered back to rank 0, which writes them out.
+std::vector<workload::OpTrace> parallel_wavelet(
+    const apps::wavelet::WaveletConfig& cfg, int ranks, double cpu_mflops,
+    Rng& rng);
+
+/// Shift a job's rank references by `rank_offset` and put its barriers in
+/// `barrier_group` — required when several SPMD jobs share one machine
+/// (their generator-local ranks 0..n-1 become global ranks offset..).
+void retarget(workload::OpTrace& t, int rank_offset, int barrier_group);
+
+}  // namespace ess::pvm

@@ -1,0 +1,83 @@
+#include "sim/engine.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace ess::sim {
+
+EventId Engine::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) throw std::logic_error("Engine: scheduling in the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+EventId Engine::schedule_after(SimTime delay, Callback cb) {
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+void Engine::schedule_periodic(SimTime first_delay, SimTime period,
+                               std::function<bool()> cb) {
+  // The wrapper owns the user callback and re-arms itself while it returns
+  // true. A shared_ptr breaks the self-reference chicken-and-egg.
+  auto wrapper = std::make_shared<std::function<void()>>();
+  *wrapper = [this, period, cb = std::move(cb), wrapper]() {
+    if (cb()) schedule_after(period, *wrapper);
+  };
+  schedule_after(first_delay, *wrapper);
+}
+
+bool Engine::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    if (const auto c = cancelled_.find(ev.id); c != cancelled_.end()) {
+      cancelled_.erase(c);
+      continue;
+    }
+    const auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) continue;  // defensive; shouldn't happen
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = ev.when;
+    ++fired_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(SimTime t) {
+  for (;;) {
+    // Drop cancelled events at the head so top() is the next live event;
+    // otherwise step() could skip past a cancelled head and fire an event
+    // beyond t.
+    while (!queue_.empty()) {
+      const Event ev = queue_.top();
+      const auto c = cancelled_.find(ev.id);
+      if (c == cancelled_.end()) break;
+      cancelled_.erase(c);
+      queue_.pop();
+    }
+    if (queue_.empty() || queue_.top().when > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace ess::sim

@@ -1,0 +1,88 @@
+// Discrete-event simulation engine.
+//
+// A single monotonic virtual clock and a priority queue of callbacks.
+// Events scheduled at the same time fire in scheduling order (FIFO via a
+// monotonically increasing sequence number), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace ess::sim {
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute time `when` (>= now()).
+  EventId schedule_at(SimTime when, Callback cb);
+
+  /// Schedule `cb` to run `delay` after now().
+  EventId schedule_after(SimTime delay, Callback cb);
+
+  /// Schedule `cb` every `period`, starting at now() + first_delay.
+  /// Returns the id of the *first* occurrence; the repetition reschedules
+  /// itself and can be stopped by returning false from the callback.
+  void schedule_periodic(SimTime first_delay, SimTime period,
+                         std::function<bool()> cb);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
+  /// no-op. Returns true if the event was pending.
+  bool cancel(EventId id);
+
+  /// Run the single earliest pending event; returns false if none pending.
+  bool step();
+
+  /// Run events until the queue is empty or virtual time would pass `t`;
+  /// afterwards now() == max(now, t) if the queue drained, or the time of
+  /// the first unfired event otherwise... precisely: all events with
+  /// time <= t have fired and now() == t.
+  void run_until(SimTime t);
+
+  /// Advance the clock by `dt`, firing everything due in between.
+  void advance(SimTime dt) { run_until(now_ + dt); }
+
+  /// Run until no events remain.
+  void run();
+
+  /// Number of events waiting (including cancelled-but-not-popped ones).
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+  /// Total events fired since construction (for tests / sanity checks).
+  std::uint64_t fired() const { return fired_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace ess::sim

@@ -1,0 +1,21 @@
+#include "trace/ring_buffer.hpp"
+
+namespace ess::trace {
+
+void RingBuffer::push(const Record& r) {
+  ++pushed_;
+  if (buf_.size() == capacity_) {
+    buf_.pop_front();
+    ++dropped_;
+  }
+  buf_.push_back(r);
+}
+
+std::vector<Record> RingBuffer::drain(std::size_t max) {
+  const std::size_t n = std::min(max, buf_.size());
+  std::vector<Record> out(buf_.begin(), buf_.begin() + static_cast<long>(n));
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<long>(n));
+  return out;
+}
+
+}  // namespace ess::trace

@@ -1,0 +1,39 @@
+// The procfs-style kernel trace buffer.
+//
+// The paper buffered driver trace entries "by the kernel message handling
+// facility through the proc filesystem" and drained them to a regular file.
+// We model that: a bounded ring buffer in "kernel memory" that the trace
+// daemon drains in batches. Overflow drops the oldest entries and counts
+// them, so an undersized buffer is observable rather than silently wrong.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace ess::trace {
+
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(const Record& r);
+
+  /// Remove and return up to `max` oldest records.
+  std::vector<Record> drain(std::size_t max);
+
+  std::size_t size() const { return buf_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t pushed() const { return pushed_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Record> buf_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace ess::trace

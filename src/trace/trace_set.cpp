@@ -1,0 +1,57 @@
+#include "trace/trace_set.hpp"
+
+#include <algorithm>
+
+namespace ess::trace {
+
+SimTime TraceSet::duration() const {
+  if (duration_ > 0) return duration_;
+  if (records_.empty()) return 0;
+  return records_.back().timestamp;
+}
+
+TraceSet TraceSet::slice(SimTime begin, SimTime end) const {
+  TraceSet out(experiment_, node_id_);
+  for (const auto& r : records_) {
+    if (r.timestamp >= begin && r.timestamp < end) out.add(r);
+  }
+  out.set_duration(end - begin);
+  return out;
+}
+
+TraceSet TraceSet::filter_dir(bool writes) const {
+  TraceSet out(experiment_, node_id_);
+  for (const auto& r : records_) {
+    if ((r.is_write != 0) == writes) out.add(r);
+  }
+  out.set_duration(duration_);
+  return out;
+}
+
+void TraceSet::merge(const TraceSet& other) {
+  records_.insert(records_.end(), other.records_.begin(),
+                  other.records_.end());
+  sort_by_time();
+  duration_ = std::max(duration(), other.duration());
+}
+
+void TraceSet::rebase(SimTime t0) {
+  std::vector<Record> kept;
+  kept.reserve(records_.size());
+  for (auto r : records_) {
+    if (r.timestamp < t0) continue;
+    r.timestamp -= t0;
+    kept.push_back(r);
+  }
+  records_ = std::move(kept);
+  if (duration_ >= t0) duration_ -= t0;
+}
+
+void TraceSet::sort_by_time() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const Record& a, const Record& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
+}  // namespace ess::trace

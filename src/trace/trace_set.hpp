@@ -1,0 +1,58 @@
+// A complete captured trace for one experiment on one node.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace ess::trace {
+
+class TraceSet {
+ public:
+  TraceSet() = default;
+  TraceSet(std::string experiment, int node_id)
+      : experiment_(std::move(experiment)), node_id_(node_id) {}
+
+  void add(const Record& r) { records_.push_back(r); }
+  void add_all(const std::vector<Record>& rs) {
+    records_.insert(records_.end(), rs.begin(), rs.end());
+  }
+
+  const std::vector<Record>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  const std::string& experiment() const { return experiment_; }
+  int node_id() const { return node_id_; }
+
+  /// Wall-clock span of the experiment; set by the harness (the capture can
+  /// end after the last record if the run idles at the tail).
+  void set_duration(SimTime d) { duration_ = d; }
+  SimTime duration() const;
+
+  /// Records with begin <= timestamp < end.
+  TraceSet slice(SimTime begin, SimTime end) const;
+
+  /// Keep only reads or only writes.
+  TraceSet filter_dir(bool writes) const;
+
+  /// Merge another trace (e.g., from a second node); keeps records sorted
+  /// by timestamp.
+  void merge(const TraceSet& other);
+
+  /// Sort records by timestamp (stable).
+  void sort_by_time();
+
+  /// Shift time zero to `t0`: drops records before t0 and subtracts t0
+  /// from the rest (used to re-zero a trace at the tracing-on instant).
+  void rebase(SimTime t0);
+
+ private:
+  std::string experiment_;
+  int node_id_ = 0;
+  SimTime duration_ = 0;
+  std::vector<Record> records_;
+};
+
+}  // namespace ess::trace

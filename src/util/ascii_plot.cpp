@@ -1,0 +1,118 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace ess {
+namespace {
+
+std::string format_tick(double v) {
+  char buf[32];
+  if (std::abs(v) >= 100000.0) {
+    std::snprintf(buf, sizeof buf, "%.2e", v);
+  } else if (std::abs(v - std::round(v)) < 1e-9) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+AsciiScatter::AsciiScatter(std::string title, std::string x_label,
+                           std::string y_label, std::size_t width,
+                           std::size_t height)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)),
+      width_(width),
+      height_(height) {}
+
+void AsciiScatter::add(double x, double y, char glyph) {
+  points_.push_back({x, y, glyph});
+}
+
+void AsciiScatter::set_x_range(double lo, double hi) {
+  has_x_range_ = true;
+  x_lo_ = lo;
+  x_hi_ = hi;
+}
+
+void AsciiScatter::set_y_range(double lo, double hi) {
+  has_y_range_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+std::string AsciiScatter::render() const {
+  double x_lo = x_lo_, x_hi = x_hi_, y_lo = y_lo_, y_hi = y_hi_;
+  if (!has_x_range_ || !has_y_range_) {
+    double px_lo = std::numeric_limits<double>::max();
+    double px_hi = std::numeric_limits<double>::lowest();
+    double py_lo = px_lo, py_hi = px_hi;
+    for (const auto& p : points_) {
+      px_lo = std::min(px_lo, p.x);
+      px_hi = std::max(px_hi, p.x);
+      py_lo = std::min(py_lo, p.y);
+      py_hi = std::max(py_hi, p.y);
+    }
+    if (points_.empty()) px_lo = py_lo = 0, px_hi = py_hi = 1;
+    if (!has_x_range_) x_lo = px_lo, x_hi = px_hi;
+    if (!has_y_range_) y_lo = py_lo, y_hi = py_hi;
+  }
+  if (x_hi <= x_lo) x_hi = x_lo + 1;
+  if (y_hi <= y_lo) y_hi = y_lo + 1;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  for (const auto& p : points_) {
+    if (p.x < x_lo || p.x > x_hi || p.y < y_lo || p.y > y_hi) continue;
+    const auto col = static_cast<std::size_t>(
+        (p.x - x_lo) / (x_hi - x_lo) * static_cast<double>(width_ - 1));
+    const auto row = static_cast<std::size_t>(
+        (p.y - y_lo) / (y_hi - y_lo) * static_cast<double>(height_ - 1));
+    grid[height_ - 1 - row][col] = p.glyph;
+  }
+
+  std::ostringstream out;
+  out << title_ << "\n";
+  out << "  y: " << y_label_ << "  [" << format_tick(y_lo) << " .. "
+      << format_tick(y_hi) << "]\n";
+  for (const auto& line : grid) out << "  |" << line << "\n";
+  out << "  +" << std::string(width_, '-') << "\n";
+  out << "  x: " << x_label_ << "  [" << format_tick(x_lo) << " .. "
+      << format_tick(x_hi) << "]   (" << points_.size() << " points)\n";
+  return out.str();
+}
+
+AsciiBarChart::AsciiBarChart(std::string title, std::size_t bar_width)
+    : title_(std::move(title)), bar_width_(bar_width) {}
+
+void AsciiBarChart::add(const std::string& label, double value) {
+  bars_.push_back({label, value});
+}
+
+std::string AsciiBarChart::render() const {
+  double max_v = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& b : bars_) {
+    max_v = std::max(max_v, b.value);
+    label_w = std::max(label_w, b.label.size());
+  }
+  if (max_v <= 0.0) max_v = 1.0;
+
+  std::ostringstream out;
+  out << title_ << "\n";
+  for (const auto& b : bars_) {
+    const auto n = static_cast<std::size_t>(
+        std::round(b.value / max_v * static_cast<double>(bar_width_)));
+    out << "  " << b.label << std::string(label_w - b.label.size(), ' ')
+        << " |" << std::string(n, '#') << " " << format_tick(b.value) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ess

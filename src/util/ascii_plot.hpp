@@ -1,0 +1,62 @@
+// Terminal rendering of the paper's figures.
+//
+// The original figures are scatter plots (sector or request size vs. time)
+// and bar charts (locality histograms). We render them as character grids so
+// every bench binary can print the figure it regenerates.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ess {
+
+/// A scatter plot on a fixed character grid. Later points overwrite earlier
+/// ones in the same cell, matching how dense scatter plots read.
+class AsciiScatter {
+ public:
+  AsciiScatter(std::string title, std::string x_label, std::string y_label,
+               std::size_t width = 78, std::size_t height = 22);
+
+  void add(double x, double y, char glyph = '*');
+
+  /// Force axis ranges (otherwise auto-scaled to the data).
+  void set_x_range(double lo, double hi);
+  void set_y_range(double lo, double hi);
+
+  std::string render() const;
+
+ private:
+  struct Point {
+    double x, y;
+    char glyph;
+  };
+
+  std::string title_, x_label_, y_label_;
+  std::size_t width_, height_;
+  std::vector<Point> points_;
+  bool has_x_range_ = false, has_y_range_ = false;
+  double x_lo_ = 0, x_hi_ = 1, y_lo_ = 0, y_hi_ = 1;
+};
+
+/// A horizontal bar chart: one labelled bar per category.
+class AsciiBarChart {
+ public:
+  explicit AsciiBarChart(std::string title, std::size_t bar_width = 50);
+
+  void add(const std::string& label, double value);
+
+  std::string render() const;
+
+ private:
+  struct Bar {
+    std::string label;
+    double value;
+  };
+
+  std::string title_;
+  std::size_t bar_width_;
+  std::vector<Bar> bars_;
+};
+
+}  // namespace ess

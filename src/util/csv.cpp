@@ -1,0 +1,43 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace ess {
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path), to_file_(true) {
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+CsvWriter::CsvWriter() = default;
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  std::ostringstream line;
+  bool first = true;
+  for (const auto& n : names) {
+    if (!first) line << ',';
+    first = false;
+    line << escape(n);
+  }
+  write_line(line.str());
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_line(const std::string& line) {
+  if (to_file_) {
+    file_ << line << '\n';
+  } else {
+    buffer_ << line << '\n';
+  }
+}
+
+}  // namespace ess

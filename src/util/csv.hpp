@@ -1,0 +1,53 @@
+// Minimal CSV writer for benchmark/figure output files.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ess {
+
+/// Writes rows of comma-separated values. Strings containing commas or
+/// quotes are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// In-memory mode (retrieve with str()); used by tests.
+  CsvWriter();
+
+  void header(const std::vector<std::string>& names);
+
+  template <typename... Ts>
+  void row(const Ts&... fields) {
+    std::ostringstream line;
+    bool first = true;
+    (append_field(line, first, fields), ...);
+    write_line(line.str());
+  }
+
+  std::string str() const { return buffer_.str(); }
+
+ private:
+  template <typename T>
+  void append_field(std::ostringstream& line, bool& first, const T& value) {
+    if (!first) line << ',';
+    first = false;
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      line << escape(std::string(value));
+    } else {
+      line << value;
+    }
+  }
+
+  static std::string escape(const std::string& s);
+  void write_line(const std::string& line);
+
+  std::ofstream file_;
+  std::ostringstream buffer_;
+  bool to_file_ = false;
+};
+
+}  // namespace ess

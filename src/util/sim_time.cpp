@@ -1,0 +1,15 @@
+#include "util/sim_time.hpp"
+
+#include <cstdio>
+
+namespace ess {
+
+std::string format_time(SimTime t) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%06llus",
+                static_cast<unsigned long long>(t / kUsPerSec),
+                static_cast<unsigned long long>(t % kUsPerSec));
+  return buf;
+}
+
+}  // namespace ess

@@ -1,0 +1,35 @@
+// Simulated time: integer microseconds since experiment start.
+//
+// The whole simulator is driven by virtual time; there is deliberately no
+// dependence on the wall clock anywhere, so identical inputs produce
+// identical traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ess {
+
+/// Simulated time in microseconds since the start of the experiment.
+using SimTime = std::uint64_t;
+
+/// Signed duration in microseconds, for differences between SimTime values.
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kUsPerMs = 1'000;
+inline constexpr SimTime kUsPerSec = 1'000'000;
+
+/// 3.5 us  -> usec(3) + ... ; small constructors for readable constants.
+constexpr SimTime usec(std::uint64_t n) { return n; }
+constexpr SimTime msec(std::uint64_t n) { return n * kUsPerMs; }
+constexpr SimTime sec(std::uint64_t n) { return n * kUsPerSec; }
+
+/// Seconds as a double, for reporting.
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kUsPerSec);
+}
+
+/// Render a SimTime as "123.456789s" for logs and reports.
+std::string format_time(SimTime t);
+
+}  // namespace ess

@@ -1,0 +1,29 @@
+#include "workload/op.hpp"
+
+namespace ess::workload {
+
+SimTime OpTrace::total_compute() const {
+  SimTime t = 0;
+  for (const auto& op : ops) {
+    if (const auto* c = std::get_if<ComputeOp>(&op)) t += c->duration;
+  }
+  return t;
+}
+
+std::uint64_t OpTrace::total_read_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& op : ops) {
+    if (const auto* r = std::get_if<ReadOp>(&op)) n += r->len;
+  }
+  return n;
+}
+
+std::uint64_t OpTrace::total_write_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& op : ops) {
+    if (const auto* w = std::get_if<WriteOp>(&op)) n += w->len;
+  }
+  return n;
+}
+
+}  // namespace ess::workload

@@ -1,0 +1,120 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+
+#include "workload/builder.hpp"
+
+namespace ess::workload {
+
+OpTrace sequential_read(const std::string& name, const std::string& path,
+                        std::uint64_t file_bytes, std::uint64_t chunk_bytes,
+                        SimTime compute_per_chunk) {
+  OpTraceBuilder b(name);
+  const FileRef f = b.input_file(path, file_bytes);
+  for (std::uint64_t off = 0; off < file_bytes; off += chunk_bytes) {
+    b.read(f, off, std::min(chunk_bytes, file_bytes - off));
+    b.compute(compute_per_chunk);
+  }
+  return std::move(b).build();
+}
+
+OpTrace sequential_write(const std::string& name, const std::string& path,
+                         std::uint64_t total_bytes, std::uint64_t chunk_bytes,
+                         SimTime compute_per_chunk) {
+  OpTraceBuilder b(name);
+  const FileRef f = b.output_file(path);
+  for (std::uint64_t off = 0; off < total_bytes; off += chunk_bytes) {
+    b.append(f, std::min(chunk_bytes, total_bytes - off));
+    b.compute(compute_per_chunk);
+  }
+  return std::move(b).build();
+}
+
+OpTrace random_read(const std::string& name, const std::string& path,
+                    std::uint64_t file_bytes, std::uint64_t io_count,
+                    std::uint64_t io_bytes, SimTime compute_per_io,
+                    Rng& rng) {
+  OpTraceBuilder b(name);
+  const FileRef f = b.input_file(path, file_bytes);
+  const std::uint64_t span = file_bytes > io_bytes ? file_bytes - io_bytes : 1;
+  for (std::uint64_t i = 0; i < io_count; ++i) {
+    b.read(f, rng.uniform(span), io_bytes);
+    b.compute(compute_per_io);
+  }
+  return std::move(b).build();
+}
+
+OpTrace strided_read(const std::string& name, const std::string& path,
+                     std::uint64_t file_bytes, std::uint64_t record_bytes,
+                     std::uint64_t stride_bytes, SimTime compute_per_io) {
+  OpTraceBuilder b(name);
+  const FileRef f = b.input_file(path, file_bytes);
+  for (std::uint64_t off = 0; off + record_bytes <= file_bytes;
+       off += stride_bytes) {
+    b.read(f, off, record_bytes);
+    b.compute(compute_per_io);
+  }
+  return std::move(b).build();
+}
+
+OpTrace generate(const SyntheticSpec& spec, Rng& rng) {
+  OpTraceBuilder b(spec.name);
+  b.set_image_bytes(spec.image_bytes);
+  b.set_anon_bytes(spec.anon_bytes);
+
+  const std::uint64_t read_bytes = static_cast<std::uint64_t>(
+      spec.read_fraction * static_cast<double>(spec.explicit_io_bytes));
+  const std::uint64_t write_bytes = spec.explicit_io_bytes - read_bytes;
+  FileRef in = 0, out = 0;
+  const bool has_in = read_bytes > 0;
+  if (has_in) b.input_file("/synth/" + spec.name + ".in", read_bytes);
+  out = b.output_file("/synth/" + spec.name + ".out");
+  if (has_in) in = 0, out = 1;
+
+  const std::uint32_t phases = std::max(1u, spec.phases);
+  const SimTime compute_total = spec.duration;
+  const SimTime per_phase = compute_total / phases;
+  const std::uint64_t rd_per_phase = read_bytes / phases;
+  const std::uint64_t wr_per_phase = write_bytes / phases;
+
+  // Demand-load the image and initialize the data segment at startup, as
+  // real programs do (this is what creates the startup paging burst and,
+  // under memory pressure, the swap-out write stream).
+  if (spec.image_bytes > 0) {
+    b.touch_range(0, b.peek().image_pages(), false);
+  }
+  if (spec.anon_bytes > 0) {
+    b.touch_range(b.anon_first_page(), b.peek().anon_pages(), true);
+  }
+
+  std::uint64_t rd_off = 0;
+  for (std::uint32_t p = 0; p < phases; ++p) {
+    if (has_in && rd_per_phase > 0) {
+      for (std::uint64_t done = 0; done < rd_per_phase;
+           done += spec.io_chunk_bytes) {
+        const auto n = std::min(spec.io_chunk_bytes, rd_per_phase - done);
+        b.read(in, rd_off, n);
+        rd_off += n;
+      }
+    }
+    if (spec.working_set_pages > 0) {
+      b.compute_with_working_set(per_phase, b.anon_first_page(),
+                                 spec.working_set_pages, 8,
+                                 static_cast<std::uint32_t>(
+                                     std::min<std::uint64_t>(
+                                         spec.working_set_pages, 64)),
+                                 0.5, rng);
+    } else {
+      b.compute(per_phase);
+    }
+    if (wr_per_phase > 0) {
+      for (std::uint64_t done = 0; done < wr_per_phase;
+           done += spec.io_chunk_bytes) {
+        b.append(out, std::min(spec.io_chunk_bytes, wr_per_phase - done));
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+}  // namespace ess::workload

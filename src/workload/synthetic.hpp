@@ -1,0 +1,55 @@
+// Synthetic workload generators.
+//
+// These serve two purposes: (1) unit- and property-test excitations for the
+// kernel substrate, and (2) the paper's stated "next step" — a parameter
+// set usable for system design studies. SyntheticSpec captures the
+// characteristics the study measures (request mix, sizes, phases) and
+// generate() emits an OpTrace matching them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+#include "workload/op.hpp"
+
+namespace ess::workload {
+
+/// A sequential whole-file read workload (streaming input).
+OpTrace sequential_read(const std::string& name, const std::string& path,
+                        std::uint64_t file_bytes, std::uint64_t chunk_bytes,
+                        SimTime compute_per_chunk);
+
+/// A sequential append workload (logging / checkpointing).
+OpTrace sequential_write(const std::string& name, const std::string& path,
+                         std::uint64_t total_bytes, std::uint64_t chunk_bytes,
+                         SimTime compute_per_chunk);
+
+/// Uniform random reads within a file (index lookups).
+OpTrace random_read(const std::string& name, const std::string& path,
+                    std::uint64_t file_bytes, std::uint64_t io_count,
+                    std::uint64_t io_bytes, SimTime compute_per_io, Rng& rng);
+
+/// A strided read pattern (column access of a row-major matrix).
+OpTrace strided_read(const std::string& name, const std::string& path,
+                     std::uint64_t file_bytes, std::uint64_t record_bytes,
+                     std::uint64_t stride_bytes, SimTime compute_per_io);
+
+/// Parameter set distilled from a characterization (the paper's proposed
+/// design-tuning artifact). generate() produces a workload whose disk
+/// signature matches these parameters on the simulated node.
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  SimTime duration = 0;             // target run length
+  double read_fraction = 0.5;       // of explicit I/O bytes
+  std::uint64_t explicit_io_bytes = 0;
+  std::uint64_t io_chunk_bytes = 16 * 1024;
+  std::uint64_t image_bytes = 0;    // paging pressure: program image size
+  std::uint64_t anon_bytes = 0;     // and anonymous working set
+  std::uint64_t working_set_pages = 0;
+  std::uint32_t phases = 4;         // alternating I/O / compute phases
+};
+
+OpTrace generate(const SyntheticSpec& spec, Rng& rng);
+
+}  // namespace ess::workload

@@ -1,0 +1,267 @@
+#include "workload/wdl.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "workload/builder.hpp"
+
+namespace ess::workload {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("WDL line " + std::to_string(line) + ": " + msg);
+}
+
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) {
+    if (t[0] == '#') break;
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::uint64_t to_u64(const std::string& s, int line) {
+  try {
+    std::size_t pos = 0;
+    const auto v = std::stoull(s, &pos);
+    if (pos != s.size()) fail(line, "bad number: " + s);
+    return v;
+  } catch (const std::logic_error&) {
+    fail(line, "bad number: " + s);
+  }
+}
+
+double to_f64(const std::string& s, int line) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) fail(line, "bad number: " + s);
+    return v;
+  } catch (const std::logic_error&) {
+    fail(line, "bad number: " + s);
+  }
+}
+
+SimTime seconds_to_us(double s) {
+  return static_cast<SimTime>(s * 1e6);
+}
+
+struct Parser {
+  OpTraceBuilder* b = nullptr;
+  Rng* rng = nullptr;
+  int file_count = 0;
+
+  FileRef file_ref(const std::string& s, int line) const {
+    const auto idx = to_u64(s, line);
+    if (idx >= static_cast<std::uint64_t>(file_count)) {
+      fail(line, "file index out of range: " + s);
+    }
+    return static_cast<FileRef>(idx);
+  }
+
+  /// Execute one directive (already tokenized, not repeat/end).
+  void apply(const std::vector<std::string>& t, int line) {
+    const std::string& cmd = t[0];
+    auto need = [&](std::size_t n) {
+      if (t.size() < n + 1) fail(line, cmd + ": missing arguments");
+    };
+    if (cmd == "image") {
+      need(1);
+      b->set_image_bytes(to_u64(t[1], line));
+      if (t.size() >= 4 && t[2] == "warm") {
+        b->set_image_warm_fraction(to_f64(t[3], line));
+      }
+    } else if (cmd == "anon") {
+      need(1);
+      b->set_anon_bytes(to_u64(t[1], line));
+    } else if (cmd == "input") {
+      need(2);
+      const std::uint64_t goal =
+          t.size() >= 5 && t[3] == "goal" ? to_u64(t[4], line) : 0;
+      b->input_file(t[1], to_u64(t[2], line), goal);
+      ++file_count;
+    } else if (cmd == "output") {
+      need(1);
+      b->output_file(t[1]);
+      ++file_count;
+    } else if (cmd == "compute") {
+      need(1);
+      b->compute(seconds_to_us(to_f64(t[1], line)));
+    } else if (cmd == "read") {
+      need(3);
+      b->read(file_ref(t[1], line), to_u64(t[2], line), to_u64(t[3], line));
+    } else if (cmd == "write") {
+      need(3);
+      const auto off =
+          t[2] == "append" ? kAppend : to_u64(t[2], line);
+      b->write(file_ref(t[1], line), off, to_u64(t[3], line));
+    } else if (cmd == "touch") {
+      need(3);
+      if (t[3] != "r" && t[3] != "w") fail(line, "touch: want r|w");
+      b->touch_range(to_u64(t[1], line), to_u64(t[2], line), t[3] == "w");
+    } else if (cmd == "workset") {
+      need(6);
+      b->compute_with_working_set(
+          seconds_to_us(to_f64(t[1], line)), to_u64(t[2], line),
+          to_u64(t[3], line),
+          static_cast<std::uint32_t>(to_u64(t[4], line)),
+          static_cast<std::uint32_t>(to_u64(t[5], line)),
+          to_f64(t[6], line), *rng);
+    } else if (cmd == "scratch") {
+      need(2);
+      b->scratch_create(t[1], to_u64(t[2], line));
+    } else if (cmd == "unlink") {
+      need(1);
+      b->unlink(t[1]);
+    } else if (cmd == "send") {
+      need(2);
+      b->send(static_cast<int>(to_u64(t[1], line)), to_u64(t[2], line),
+              t.size() >= 4 ? static_cast<int>(to_u64(t[3], line)) : 0);
+    } else if (cmd == "recv") {
+      need(1);
+      const int src =
+          t[1] == "any" ? -1 : static_cast<int>(to_u64(t[1], line));
+      b->recv(src, t.size() >= 3 ? static_cast<int>(to_u64(t[2], line)) : 0);
+    } else if (cmd == "barrier") {
+      b->barrier(t.size() >= 2 ? static_cast<int>(to_u64(t[1], line)) : 0);
+    } else {
+      fail(line, "unknown directive: " + cmd);
+    }
+  }
+};
+
+}  // namespace
+
+OpTrace parse_wdl(const std::string& text, Rng& rng) {
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+
+  // First pass: collect (line_no, tokens) and the workload name.
+  std::vector<std::pair<int, std::vector<std::string>>> directives;
+  std::string name;
+  while (std::getline(is, line)) {
+    ++line_no;
+    auto t = tokens_of(line);
+    if (t.empty()) continue;
+    if (t[0] == "workload") {
+      if (t.size() < 2) fail(line_no, "workload: missing name");
+      if (!name.empty()) fail(line_no, "duplicate workload directive");
+      name = t[1];
+      continue;
+    }
+    directives.push_back({line_no, std::move(t)});
+  }
+  if (name.empty()) throw std::runtime_error("WDL: missing workload <name>");
+
+  OpTraceBuilder builder(name);
+  Parser p;
+  p.b = &builder;
+  p.rng = &rng;
+
+  // Second pass with repeat/end handling (non-nested).
+  std::size_t i = 0;
+  while (i < directives.size()) {
+    auto& [ln, t] = directives[i];
+    if (t[0] == "end") fail(ln, "end without repeat");
+    if (t[0] == "repeat") {
+      if (t.size() < 2) fail(ln, "repeat: missing count");
+      const auto n = to_u64(t[1], ln);
+      std::size_t j = i + 1;
+      while (j < directives.size() && directives[j].second[0] != "repeat" &&
+             directives[j].second[0] != "end") {
+        ++j;
+      }
+      if (j >= directives.size() || directives[j].second[0] != "end") {
+        fail(ln, "repeat without end (nesting unsupported)");
+      }
+      for (std::uint64_t k = 0; k < n; ++k) {
+        for (std::size_t d = i + 1; d < j; ++d) {
+          p.apply(directives[d].second, directives[d].first);
+        }
+      }
+      i = j + 1;
+      continue;
+    }
+    p.apply(t, ln);
+    ++i;
+  }
+  return std::move(builder).build();
+}
+
+OpTrace parse_wdl_file(const std::string& path, Rng& rng) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("WDL: cannot open " + path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return parse_wdl(ss.str(), rng);
+}
+
+std::string to_wdl(const OpTrace& trace) {
+  std::ostringstream os;
+  os << "workload " << trace.app_name << "\n";
+  if (trace.image_bytes > 0) {
+    os << "image " << trace.image_bytes << " warm "
+       << trace.image_warm_fraction << "\n";
+  }
+  if (trace.anon_bytes > 0) os << "anon " << trace.anon_bytes << "\n";
+  for (const auto& f : trace.files) {
+    if (f.create) {
+      os << "output " << f.path << "\n";
+    } else {
+      os << "input " << f.path << " " << f.input_size;
+      if (f.goal_block != 0) os << " goal " << f.goal_block;
+      os << "\n";
+    }
+  }
+  for (const auto& op : trace.ops) {
+    if (const auto* c = std::get_if<ComputeOp>(&op)) {
+      os << "compute " << to_seconds(c->duration) << "\n";
+    } else if (const auto* r = std::get_if<ReadOp>(&op)) {
+      os << "read " << r->file << " " << r->offset << " " << r->len << "\n";
+    } else if (const auto* w = std::get_if<WriteOp>(&op)) {
+      os << "write " << w->file << " "
+         << (w->offset == kAppend ? std::string("append")
+                                  : std::to_string(w->offset))
+         << " " << w->len << "\n";
+    } else if (const auto* touch = std::get_if<TouchOp>(&op)) {
+      // Emit as runs of same-direction contiguous pages.
+      std::size_t i = 0;
+      while (i < touch->pages.size()) {
+        std::size_t j = i + 1;
+        while (j < touch->pages.size() &&
+               touch->pages[j].write == touch->pages[i].write &&
+               touch->pages[j].vpage == touch->pages[j - 1].vpage + 1) {
+          ++j;
+        }
+        os << "touch " << touch->pages[i].vpage << " " << (j - i) << " "
+           << (touch->pages[i].write ? "w" : "r") << "\n";
+        i = j;
+      }
+    } else if (const auto* sc = std::get_if<ScratchCreateOp>(&op)) {
+      os << "scratch " << sc->path << " " << sc->bytes << "\n";
+    } else if (const auto* u = std::get_if<UnlinkOp>(&op)) {
+      os << "unlink " << u->path << "\n";
+    } else if (const auto* snd = std::get_if<SendOp>(&op)) {
+      os << "send " << snd->dst_rank << " " << snd->bytes << " " << snd->tag
+         << "\n";
+    } else if (const auto* rcv = std::get_if<RecvOp>(&op)) {
+      os << "recv "
+         << (rcv->src_rank < 0 ? std::string("any")
+                               : std::to_string(rcv->src_rank))
+         << " " << rcv->tag << "\n";
+    } else if (const auto* bar = std::get_if<BarrierOp>(&op)) {
+      os << "barrier";
+      if (bar->participants > 0) os << " " << bar->participants;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace ess::workload

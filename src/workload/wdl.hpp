@@ -1,0 +1,45 @@
+// WDL: a small workload description language.
+//
+// The paper's proposed deliverable is "a parameter set that can be used
+// for system design and tuning". WDL makes such parameter sets portable
+// files: a line-oriented format that describes a workload's memory
+// footprint, files, and operation stream, parsed into an OpTrace (and
+// serializable back). Grammar (one directive per line, '#' comments):
+//
+//   workload <name>
+//   image <bytes> [warm <fraction>]
+//   anon <bytes>
+//   input <path> <bytes> [goal <block>]
+//   output <path>
+//   compute <seconds>
+//   read <file-index> <offset> <len>
+//   write <file-index> <offset|append> <len>
+//   touch <first-page> <count> <r|w>
+//   workset <seconds> <first-page> <pages> <slices> <per-slice> <write-frac>
+//   scratch <path> <bytes>
+//   unlink <path>
+//   send <dst-rank> <bytes> [tag]
+//   recv <src-rank|any> [tag]
+//   barrier [participants]
+//   repeat <n> ... end        (repeats the enclosed block n times)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "util/rng.hpp"
+#include "workload/op.hpp"
+
+namespace ess::workload {
+
+/// Parse a WDL document. Throws std::runtime_error with a line number on
+/// malformed input. `rng` drives the workset directive's sampling.
+OpTrace parse_wdl(const std::string& text, Rng& rng);
+OpTrace parse_wdl_file(const std::string& path, Rng& rng);
+
+/// Serialize a trace back to WDL. workset directives are flattened into
+/// their touch/compute expansion, so round-tripping is semantically (not
+/// textually) stable.
+std::string to_wdl(const OpTrace& trace);
+
+}  // namespace ess::workload

@@ -1,0 +1,117 @@
+#include "analysis/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ess::analysis {
+namespace {
+
+trace::Record rec(SimTime ts, std::uint32_t sector,
+                  std::uint32_t size = 1024, bool write = true) {
+  trace::Record r;
+  r.timestamp = ts;
+  r.sector = sector;
+  r.size_bytes = size;
+  r.is_write = write ? 1 : 0;
+  return r;
+}
+
+TEST(InterArrival, MeanAndCvOfRegularTraffic) {
+  trace::TraceSet ts;
+  for (int i = 0; i < 11; ++i) {
+    ts.add(rec(sec(static_cast<std::uint64_t>(i) * 2), 0));
+  }
+  const auto ia = inter_arrival(ts);
+  EXPECT_DOUBLE_EQ(ia.gaps_sec.mean(), 2.0);
+  EXPECT_NEAR(ia.cv, 0.0, 1e-9);  // perfectly periodic
+}
+
+TEST(InterArrival, BurstyTrafficHasHighCv) {
+  trace::TraceSet ts;
+  // Ten requests at t=0..9us, then one at 100 s.
+  for (int i = 0; i < 10; ++i) ts.add(rec(static_cast<SimTime>(i), 0));
+  ts.add(rec(sec(100), 0));
+  EXPECT_GT(inter_arrival(ts).cv, 2.0);
+}
+
+TEST(Burstiness, UniformIsNearTopFraction) {
+  trace::TraceSet ts;
+  for (int i = 0; i < 100; ++i) {
+    ts.add(rec(sec(static_cast<std::uint64_t>(i)), 0));
+  }
+  ts.set_duration(sec(100));
+  EXPECT_NEAR(burstiness(ts, sec(10), 0.1), 0.1, 0.02);
+}
+
+TEST(Burstiness, ConcentratedTrafficNearsOne) {
+  trace::TraceSet ts;
+  for (int i = 0; i < 100; ++i) ts.add(rec(sec(1), 0));
+  ts.set_duration(sec(100));
+  EXPECT_GT(burstiness(ts, sec(10), 0.1), 0.95);
+}
+
+TEST(Sequentiality, DetectsContiguousRuns) {
+  trace::TraceSet ts;
+  // 1 KB = 2 sectors: 100, 102, 104 are sequential; 9000 breaks the run.
+  ts.add(rec(1, 100));
+  ts.add(rec(2, 102));
+  ts.add(rec(3, 104));
+  ts.add(rec(4, 9000));
+  EXPECT_DOUBLE_EQ(sequential_fraction(ts), 2.0 / 3.0);
+  const auto runs = sequential_run_lengths(ts);
+  EXPECT_EQ(runs.count(3), 1u);  // one run of 3
+  EXPECT_EQ(runs.count(1), 1u);  // the lone request
+}
+
+TEST(Sequentiality, RandomTraceIsNearZero) {
+  trace::TraceSet ts;
+  std::uint32_t s = 12345;
+  for (int i = 0; i < 100; ++i) {
+    s = s * 1103515245 + 12345;
+    ts.add(rec(static_cast<SimTime>(i), s % 1'000'000));
+  }
+  EXPECT_LT(sequential_fraction(ts), 0.05);
+}
+
+TEST(RegionMap, ClassifiesStudyLayout) {
+  const RegionMap map;
+  EXPECT_EQ(map.classify(2), Region::kMetadata);       // superblock
+  EXPECT_EQ(map.classify(45'000), Region::kSystemLog); // syslog group
+  EXPECT_EQ(map.classify(60'000), Region::kSwap);      // swap area
+  EXPECT_EQ(map.classify(99'184), Region::kTraceFile); // trace file group
+  EXPECT_EQ(map.classify(200'000), Region::kAppData);  // image region
+  EXPECT_EQ(map.classify(959'984), Region::kSystemLog);// kern.log group
+}
+
+TEST(RegionBreakdown, SharesSumTo100) {
+  trace::TraceSet ts;
+  ts.add(rec(1, 2));
+  ts.add(rec(2, 45'000));
+  ts.add(rec(3, 60'000, 4096, false));
+  ts.add(rec(4, 200'000));
+  const auto rows = region_breakdown(ts);
+  double total = 0;
+  for (const auto& r : rows) total += r.pct;
+  EXPECT_NEAR(total, 100.0, 1e-9);
+  // Sorted by request count descending; all have 1 here.
+  EXPECT_EQ(rows.size(), 4u);
+}
+
+TEST(RegionBreakdown, WriteShareTracked) {
+  trace::TraceSet ts;
+  ts.add(rec(1, 60'000, 4096, true));
+  ts.add(rec(2, 60'008, 4096, false));
+  const auto rows = region_breakdown(ts);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].region, Region::kSwap);
+  EXPECT_DOUBLE_EQ(rows[0].write_pct, 50.0);
+}
+
+TEST(RegionBreakdown, RenderListsRegions) {
+  trace::TraceSet ts;
+  ts.add(rec(1, 45'000));
+  const auto out = render_region_table(region_breakdown(ts));
+  EXPECT_NE(out.find("system-logs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ess::analysis

@@ -1,0 +1,92 @@
+#include "analysis/phases.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ess::analysis {
+namespace {
+
+trace::Record rec(SimTime ts, std::uint32_t size = 1024) {
+  trace::Record r;
+  r.timestamp = ts;
+  r.sector = 100;
+  r.size_bytes = size;
+  r.is_write = 1;
+  return r;
+}
+
+/// Three-phase synthetic trace: busy 4 KB phase (0-100 s), idle
+/// (100-200 s), slow 1 KB tail (200-300 s).
+trace::TraceSet staged() {
+  trace::TraceSet ts("staged", 0);
+  for (int i = 0; i < 500; ++i) {
+    ts.add(rec(static_cast<SimTime>(i) * sec(100) / 500, 4096));
+  }
+  for (int i = 0; i < 20; ++i) {
+    ts.add(rec(sec(200) + static_cast<SimTime>(i) * sec(100) / 20, 1024));
+  }
+  ts.set_duration(sec(300));
+  ts.sort_by_time();
+  return ts;
+}
+
+TEST(Phases, DetectsThreeSegments) {
+  const auto phases = detect_phases(staged(), sec(10));
+  ASSERT_GE(phases.size(), 3u);
+  // First segment: high rate, 4 KB modal.
+  EXPECT_GT(phases.front().rate, 3.0);
+  EXPECT_EQ(phases.front().modal_bytes, 4096u);
+  // Some middle segment is idle.
+  bool has_idle = false;
+  for (const auto& p : phases) {
+    if (p.requests == 0) has_idle = true;
+  }
+  EXPECT_TRUE(has_idle);
+  // Last segment: slow 1 KB.
+  EXPECT_EQ(phases.back().modal_bytes, 1024u);
+  EXPECT_LT(phases.back().rate, 1.0);
+}
+
+TEST(Phases, SegmentsTileTheTrace) {
+  const auto phases = detect_phases(staged(), sec(10));
+  SimTime cursor = 0;
+  std::uint64_t total = 0;
+  for (const auto& p : phases) {
+    EXPECT_EQ(p.begin, cursor);
+    cursor = p.end;
+    total += p.requests;
+  }
+  EXPECT_EQ(cursor, sec(300));
+  EXPECT_EQ(total, 520u);
+}
+
+TEST(Phases, UniformTraceIsOnePhase) {
+  trace::TraceSet ts("uniform", 0);
+  for (int i = 0; i < 300; ++i) {
+    ts.add(rec(static_cast<SimTime>(i) * sec(1)));
+  }
+  ts.set_duration(sec(300));
+  const auto phases = detect_phases(ts, sec(10));
+  EXPECT_EQ(phases.size(), 1u);
+  EXPECT_NEAR(phases[0].rate, 1.0, 0.1);
+}
+
+TEST(Phases, BusiestPhaseFindsTheSpike) {
+  const auto phases = detect_phases(staged(), sec(10));
+  const auto spike = busiest_phase(phases);
+  EXPECT_EQ(spike.begin, 0u);  // the 4 KB burst at the start
+  EXPECT_GT(spike.rate, 3.0);
+}
+
+TEST(Phases, EmptyTraceNoPhases) {
+  EXPECT_TRUE(detect_phases(trace::TraceSet{}, sec(10)).empty());
+  EXPECT_EQ(busiest_phase({}).rate, 0.0);
+}
+
+TEST(Phases, RenderListsSegments) {
+  const auto out = render_phases(detect_phases(staged(), sec(10)));
+  EXPECT_NE(out.find("req/s"), std::string::npos);
+  EXPECT_NE(out.find("modal"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ess::analysis

@@ -1,0 +1,114 @@
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace ess::analysis {
+namespace {
+
+trace::TraceSet sample() {
+  trace::TraceSet ts("Wavelet", 0);
+  for (int i = 0; i < 50; ++i) {
+    trace::Record r;
+    r.timestamp = sec(static_cast<std::uint64_t>(i));
+    r.sector = static_cast<std::uint32_t>(i * 10'000);
+    r.size_bytes = (i % 4 == 0) ? 4096 : 1024;
+    r.is_write = static_cast<std::uint8_t>(i % 2);
+    ts.add(r);
+  }
+  ts.set_duration(sec(50));
+  return ts;
+}
+
+TEST(Report, SectorFigureRendersReadsAndWrites) {
+  const auto out = render_sector_figure(sample(), "Figure 1");
+  EXPECT_NE(out.find("Figure 1"), std::string::npos);
+  EXPECT_NE(out.find('r'), std::string::npos);
+  EXPECT_NE(out.find('w'), std::string::npos);
+  EXPECT_NE(out.find("disk sector"), std::string::npos);
+}
+
+TEST(Report, SizeFigureShowsKbAxis) {
+  const auto out = render_size_figure(sample(), "Figure 2");
+  EXPECT_NE(out.find("request size (KB)"), std::string::npos);
+}
+
+TEST(Report, SpatialFigureHasBands) {
+  const auto out = render_spatial_figure(sample(), "Figure 7");
+  EXPECT_NE(out.find("0K-100K"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(Report, TemporalFigureRenders) {
+  auto ts = sample();
+  // Add repeats so some sector qualifies.
+  for (int i = 0; i < 5; ++i) {
+    trace::Record r;
+    r.timestamp = sec(static_cast<std::uint64_t>(i));
+    r.sector = 42;
+    r.size_bytes = 1024;
+    ts.add(r);
+  }
+  const auto out = render_temporal_figure(ts, "Figure 8");
+  EXPECT_NE(out.find("accesses per second"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(Report, Table1FormatsRows) {
+  const auto s = summarize(sample());
+  const auto out = render_table1({s});
+  EXPECT_NE(out.find("Table 1"), std::string::npos);
+  EXPECT_NE(out.find("Wavelet"), std::string::npos);
+  EXPECT_NE(out.find("req/s"), std::string::npos);
+}
+
+TEST(Report, SizeClassesListAllBuckets) {
+  const auto out = render_size_classes(summarize(sample()));
+  EXPECT_NE(out.find("1 KB"), std::string::npos);
+  EXPECT_NE(out.find("4 KB"), std::string::npos);
+  EXPECT_NE(out.find("max request"), std::string::npos);
+}
+
+TEST(Report, MarkdownReportHasEverySection) {
+  const auto md = markdown_report(sample());
+  for (const char* section :
+       {"# I/O characterization", "## Request mix", "## Size classes",
+        "## Locality", "## Hot spots", "## Phases", "## Arrival pattern",
+        "## Region decomposition"}) {
+    EXPECT_NE(md.find(section), std::string::npos) << section;
+  }
+}
+
+TEST(Report, MarkdownReportWritesToDisk) {
+  const std::string path = ::testing::TempDir() + "/ess_report.md";
+  write_markdown_report(sample(), path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string first;
+  std::getline(f, first);
+  EXPECT_EQ(first.rfind("# I/O characterization", 0), 0u);
+}
+
+TEST(Report, CsvWritersProduceParseableFiles) {
+  const auto ts = sample();
+  const std::string dir = ::testing::TempDir();
+  write_size_series_csv(ts, dir + "/size.csv");
+  write_sector_series_csv(ts, dir + "/sector.csv");
+  write_spatial_csv(ts, dir + "/spatial.csv");
+  write_temporal_csv(ts, dir + "/temporal.csv");
+  write_table1_csv({summarize(ts)}, dir + "/table1.csv");
+  for (const char* name :
+       {"/size.csv", "/sector.csv", "/spatial.csv", "/temporal.csv",
+        "/table1.csv"}) {
+    std::ifstream f(dir + name);
+    ASSERT_TRUE(f.good()) << name;
+    std::string header;
+    std::getline(f, header);
+    EXPECT_FALSE(header.empty()) << name;
+    EXPECT_NE(header.find(','), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ess::analysis

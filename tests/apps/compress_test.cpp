@@ -1,0 +1,146 @@
+#include "apps/wavelet/compress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace ess::apps::wavelet {
+namespace {
+
+std::vector<std::int16_t> random_symbols(std::size_t n, std::uint64_t seed,
+                                         int spread) {
+  Rng rng(seed);
+  std::vector<std::int16_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Laplacian-ish: mostly small values, as wavelet coefficients are.
+    const double v = rng.normal(0.0, spread / 3.0);
+    out.push_back(static_cast<std::int16_t>(
+        std::clamp(static_cast<long>(std::lround(v)), -127l, 127l)));
+  }
+  return out;
+}
+
+TEST(Quantizer, DeadZoneMapsSmallValuesToZero) {
+  Plane p(2);
+  p.at(0, 0) = 0.4;
+  p.at(0, 1) = -0.9;
+  p.at(1, 0) = 3.7;
+  p.at(1, 1) = -5.2;
+  const auto q = quantize(p, 1.0);
+  EXPECT_EQ(q[0], 0);
+  EXPECT_EQ(q[1], 0);
+  EXPECT_EQ(q[2], 3);
+  EXPECT_EQ(q[3], -5);
+}
+
+TEST(Quantizer, ClampsExtremeValues) {
+  Plane p(2);
+  p.at(0, 0) = 1e9;
+  p.at(0, 1) = -1e9;
+  const auto q = quantize(p, 1.0);
+  EXPECT_EQ(q[0], 32000);
+  EXPECT_EQ(q[1], -32000);
+}
+
+TEST(Quantizer, DequantizeReconstructsWithinHalfStep) {
+  Plane p(4);
+  Rng rng(5);
+  for (auto& v : p.data()) v = rng.normal(0, 20.0);
+  const double step = 2.0;
+  const auto q = quantize(p, step);
+  const Plane r = dequantize(q, 4, step);
+  for (std::size_t i = 0; i < p.data().size(); ++i) {
+    if (q[i] == 0) {
+      EXPECT_LT(std::abs(p.data()[i]), step);
+    } else {
+      EXPECT_LE(std::abs(p.data()[i] - r.data()[i]), step);
+    }
+  }
+}
+
+TEST(Quantizer, RejectsBadStep) {
+  Plane p(2);
+  EXPECT_THROW(quantize(p, 0.0), std::invalid_argument);
+}
+
+class HuffmanRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HuffmanRoundTrip, DecodeInvertsEncode) {
+  const auto data = random_symbols(5000, GetParam(), 40);
+  const auto code = HuffmanCode::build(data);
+  const auto bits = code.encode(data);
+  const auto back = code.decode(bits, data.size());
+  EXPECT_EQ(back, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HuffmanRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  const std::vector<std::int16_t> data(100, 7);
+  const auto code = HuffmanCode::build(data);
+  const auto bits = code.encode(data);
+  EXPECT_EQ(code.decode(bits, 100), data);
+  EXPECT_LE(bits.size(), 13u + 1);  // ~1 bit per symbol
+}
+
+TEST(Huffman, SkewedDistributionBeatsFixedLength) {
+  // 90% zeros: the mean code length must be well under log2(alphabet).
+  std::vector<std::int16_t> data;
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    data.push_back(rng.chance(0.9)
+                       ? 0
+                       : static_cast<std::int16_t>(rng.uniform_range(-15, 15)));
+  }
+  const auto code = HuffmanCode::build(data);
+  EXPECT_LT(code.mean_code_length(), 2.0);
+  // Entropy lower bound: mean length >= H (within a bit).
+  const auto bits = code.encoded_bits(data);
+  EXPECT_LT(bits, 2.0 * 10000);
+}
+
+TEST(Huffman, EncodedBitsMatchesBufferSize) {
+  const auto data = random_symbols(777, 6, 20);
+  const auto code = HuffmanCode::build(data);
+  const auto bits = code.encoded_bits(data);
+  const auto buf = code.encode(data);
+  EXPECT_EQ(buf.size(), (bits + 7) / 8);
+}
+
+TEST(Huffman, UnknownSymbolThrows) {
+  const std::vector<std::int16_t> data = {1, 2, 3};
+  const auto code = HuffmanCode::build(data);
+  EXPECT_THROW(code.encode({99}), std::out_of_range);
+}
+
+TEST(Huffman, TruncatedStreamThrows) {
+  const auto data = random_symbols(100, 7, 20);
+  const auto code = HuffmanCode::build(data);
+  auto bits = code.encode(data);
+  bits.resize(bits.size() / 4);
+  EXPECT_THROW(code.decode(bits, data.size()), std::runtime_error);
+}
+
+TEST(CompressRoundtrip, TerrainImageCompressesWithGoodQuality) {
+  const Plane scene = synthetic_scene(128, 11);
+  const auto r = compress_roundtrip(scene, 4, 8.0);
+  // A smooth scene at step 8: clearly under 8 bpp, decent PSNR.
+  EXPECT_LT(r.bits_per_pixel, 4.0);
+  EXPECT_GT(r.psnr_db, 28.0);
+  EXPECT_GT(r.payload_bytes, 0u);
+}
+
+TEST(CompressRoundtrip, FinerStepCostsBitsBuysQuality) {
+  const Plane scene = synthetic_scene(128, 12);
+  const auto coarse = compress_roundtrip(scene, 4, 16.0);
+  const auto fine = compress_roundtrip(scene, 4, 4.0);
+  EXPECT_GT(fine.bits_per_pixel, coarse.bits_per_pixel);
+  EXPECT_GT(fine.psnr_db, coarse.psnr_db);
+}
+
+}  // namespace
+}  // namespace ess::apps::wavelet

@@ -1,0 +1,135 @@
+#include "apps/ppm/euler2d.hpp"
+#include "apps/ppm/ppm_app.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ess::apps::ppm {
+namespace {
+
+TEST(PpmSolver, MassAndEnergyConservedInClosedBox) {
+  PpmSolver s(32, 48, 1.0 / 32, 1.0 / 32);
+  s.init_blast(0.1, 10.0, 0.15);
+  const Totals before = s.totals();
+  for (int i = 0; i < 25; ++i) s.step(0.4);
+  const Totals after = s.totals();
+  // Flux-form update in a reflecting box: conserved to round-off.
+  EXPECT_NEAR(after.mass, before.mass, 1e-9 * std::abs(before.mass));
+  EXPECT_NEAR(after.energy, before.energy, 1e-9 * std::abs(before.energy));
+}
+
+TEST(PpmSolver, DensityStaysPositive) {
+  PpmSolver s(24, 24, 1.0 / 24, 1.0 / 24);
+  s.init_blast(0.1, 50.0, 0.2);  // strong blast
+  for (int i = 0; i < 30; ++i) {
+    s.step(0.4);
+    const auto& u = s.state();
+    for (int j = 0; j < u.ny; ++j) {
+      for (int k = 0; k < u.nx; ++k) {
+        ASSERT_GT(u.rho[u.idx(k, j)], 0.0) << "at step " << i;
+      }
+    }
+  }
+}
+
+TEST(PpmSolver, BlastWavePropagatesOutward) {
+  PpmSolver s(48, 48, 1.0 / 48, 1.0 / 48);
+  s.init_blast(0.1, 10.0, 0.1);
+  for (int i = 0; i < 10; ++i) s.step(0.4);
+  // A shock has formed: the max density exceeds the initial uniform 1.0.
+  EXPECT_GT(s.totals().max_density, 1.05);
+  // The centre has rarefied below ambient.
+  const auto& u = s.state();
+  EXPECT_LT(u.rho[u.idx(24, 24)], 1.0);
+}
+
+TEST(PpmSolver, QuadrantSymmetryPreserved) {
+  PpmSolver s(32, 32, 1.0 / 32, 1.0 / 32);
+  s.init_blast(0.1, 10.0, 0.2);
+  for (int i = 0; i < 8; ++i) s.step(0.4);
+  const auto& u = s.state();
+  // The centred blast in a square box is 4-fold symmetric.
+  for (int j = 0; j < 16; ++j) {
+    for (int i2 = 0; i2 < 16; ++i2) {
+      const double a = u.rho[u.idx(i2, j)];
+      const double b = u.rho[u.idx(31 - i2, j)];
+      const double c = u.rho[u.idx(i2, 31 - j)];
+      ASSERT_NEAR(a, b, 1e-9);
+      ASSERT_NEAR(a, c, 1e-9);
+    }
+  }
+}
+
+TEST(PpmSolver, DtRespectsCfl) {
+  PpmSolver s(24, 24, 1.0 / 24, 1.0 / 24);
+  s.init_blast(0.1, 10.0, 0.2);
+  const auto st = s.step(0.4);
+  EXPECT_GT(st.dt, 0.0);
+  EXPECT_LT(st.dt, 1.0 / 24);  // far below a cell crossing at unit speed
+  EXPECT_GT(st.flops, 0u);
+}
+
+TEST(PpmSolver, TinyGridRejected) {
+  EXPECT_THROW(PpmSolver(2, 2, 0.5, 0.5), std::invalid_argument);
+}
+
+TEST(PpmSolver, MemoryFootprintScalesWithGrid) {
+  PpmSolver small(16, 16, 1.0 / 16, 1.0 / 16);
+  PpmSolver large(64, 64, 1.0 / 64, 1.0 / 64);
+  EXPECT_GT(large.memory_bytes(), small.memory_bytes() * 8);
+}
+
+class PpmGridSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PpmGridSweep, ConservationAcrossGridShapes) {
+  const auto [nx, ny] = GetParam();
+  PpmSolver s(nx, ny, 1.0 / nx, 1.0 / nx);
+  s.init_blast(0.1, 10.0, 0.1);
+  const Totals before = s.totals();
+  for (int i = 0; i < 10; ++i) s.step(0.4);
+  EXPECT_NEAR(s.totals().mass, before.mass, 1e-9 * before.mass);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, PpmGridSweep,
+                         ::testing::Values(std::pair{16, 16},
+                                           std::pair{16, 48},
+                                           std::pair{48, 16},
+                                           std::pair{30, 60}));
+
+TEST(PpmApp, TraceHasExpectedShape) {
+  PpmConfig cfg;
+  cfg.nx = 24;
+  cfg.ny = 48;
+  cfg.steps = 8;
+  cfg.summary_every = 4;
+  Rng rng(1);
+  const auto result = run_ppm(cfg, 25.0, rng);
+  EXPECT_GT(result.native_flops, 0u);
+  EXPECT_GT(result.modelled_compute, 0u);
+  // Domain is (nx*dx) x (ny*dy) = 1 x 2 with unit density: mass = 2.
+  EXPECT_NEAR(result.final_mass, 2.0, 1e-6);
+  const auto& t = result.trace;
+  EXPECT_EQ(t.app_name, "ppm");
+  ASSERT_EQ(t.files.size(), 1u);
+  EXPECT_TRUE(t.files[0].create);
+  // 2 summary appends + final results.
+  EXPECT_EQ(t.total_write_bytes(), 2u * 160 + 2048);
+  EXPECT_EQ(t.total_read_bytes(), 0u);  // "no input data"
+}
+
+TEST(PpmApp, ModelledComputeScalesWithSteps) {
+  PpmConfig small, big;
+  small.nx = big.nx = 24;
+  small.ny = big.ny = 24;
+  small.steps = 4;
+  big.steps = 8;
+  Rng r1(1), r2(1);
+  const auto a = run_ppm(small, 25.0, r1);
+  const auto b = run_ppm(big, 25.0, r2);
+  EXPECT_GT(b.modelled_compute, a.modelled_compute * 3 / 2);
+}
+
+}  // namespace
+}  // namespace ess::apps::ppm

@@ -1,0 +1,64 @@
+#include "block/readahead.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ess::block {
+namespace {
+
+TEST(ReadAhead, FirstAccessHasNoWindow) {
+  ReadAhead ra(16);
+  EXPECT_EQ(ra.advise(100, 4), 0u);
+}
+
+TEST(ReadAhead, SequentialStreakDoublesWindow) {
+  // The application reads contiguous 4-block chunks; the window doubles.
+  ReadAhead ra(16);
+  EXPECT_EQ(ra.advise(0, 4), 0u);
+  EXPECT_EQ(ra.advise(4, 4), 2u);
+  EXPECT_EQ(ra.advise(8, 4), 4u);
+  EXPECT_EQ(ra.advise(12, 4), 8u);
+}
+
+TEST(ReadAhead, WindowCappedAtCeiling) {
+  ReadAhead ra(16);
+  std::uint32_t w = 0;
+  for (std::uint64_t block = 0; block < 100; block += 4) {
+    w = ra.advise(block, 4);
+  }
+  EXPECT_EQ(w, 16u);
+}
+
+TEST(ReadAhead, SeekResetsWindow) {
+  ReadAhead ra(16);
+  ra.advise(0, 4);
+  EXPECT_GT(ra.advise(4, 4), 0u);
+  EXPECT_EQ(ra.advise(99999, 4), 0u);  // random jump
+}
+
+TEST(ReadAhead, ResetClearsState) {
+  ReadAhead ra(16);
+  ra.advise(0, 4);
+  ra.advise(4, 4);
+  ra.reset();
+  EXPECT_EQ(ra.window(), 0u);
+  EXPECT_EQ(ra.advise(8, 4), 0u);  // streak forgotten
+}
+
+class CeilingSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CeilingSweep, NeverExceedsCeiling) {
+  const std::uint32_t ceiling = GetParam();
+  ReadAhead ra(ceiling);
+  std::uint32_t w = 0;
+  for (std::uint64_t block = 0; block < 40; block += 2) {
+    w = ra.advise(block, 2);
+    EXPECT_LE(w, ceiling);
+  }
+  EXPECT_EQ(w, ceiling);  // streak reaches the cap
+}
+
+INSTANTIATE_TEST_SUITE_P(Ceilings, CeilingSweep,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace ess::block

@@ -1,0 +1,57 @@
+#include "disk/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ess::disk {
+namespace {
+
+TEST(Geometry, BeowulfCapacityIsAbout500MB) {
+  const Geometry g = beowulf_geometry();
+  EXPECT_EQ(g.total_sectors(), 1'018'080u);
+  const double mb = static_cast<double>(g.capacity_bytes()) / 1e6;
+  EXPECT_GT(mb, 490.0);
+  EXPECT_LT(mb, 530.0);
+}
+
+TEST(Geometry, CylinderOfFirstAndLastSector) {
+  const Geometry g = beowulf_geometry();
+  EXPECT_EQ(g.cylinder_of(0), 0u);
+  EXPECT_EQ(g.cylinder_of(g.total_sectors() - 1), g.cylinders - 1);
+}
+
+TEST(Geometry, CylinderBoundaries) {
+  const Geometry g = beowulf_geometry();
+  const std::uint64_t per_cyl =
+      std::uint64_t{g.heads} * g.sectors_per_track;
+  EXPECT_EQ(g.cylinder_of(per_cyl - 1), 0u);
+  EXPECT_EQ(g.cylinder_of(per_cyl), 1u);
+}
+
+TEST(Geometry, SectorInTrackWraps) {
+  const Geometry g = beowulf_geometry();
+  EXPECT_EQ(g.sector_in_track(0), 0u);
+  EXPECT_EQ(g.sector_in_track(g.sectors_per_track), 0u);
+  EXPECT_EQ(g.sector_in_track(g.sectors_per_track + 5), 5u);
+}
+
+class GeometryParamTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GeometryParamTest, TotalsConsistent) {
+  const auto [c, h, s] = GetParam();
+  Geometry g{static_cast<std::uint32_t>(c), static_cast<std::uint32_t>(h),
+             static_cast<std::uint32_t>(s)};
+  EXPECT_EQ(g.total_sectors(),
+            std::uint64_t{g.cylinders} * g.heads * g.sectors_per_track);
+  EXPECT_EQ(g.capacity_bytes(), g.total_sectors() * kSectorSize);
+  // Every sector maps to a valid cylinder.
+  EXPECT_LT(g.cylinder_of(g.total_sectors() - 1), g.cylinders);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeometryParamTest,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{10, 2, 9},
+                      std::tuple{1010, 16, 63}, std::tuple{4096, 255, 63}));
+
+}  // namespace
+}  // namespace ess::disk

@@ -1,0 +1,107 @@
+#include "disk/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ess::disk {
+namespace {
+
+Request req(std::uint64_t sector) {
+  Request r;
+  r.sector = sector;
+  r.sector_count = 1;
+  return r;
+}
+
+TEST(FifoScheduler, PopsInArrivalOrder) {
+  FifoScheduler s;
+  s.push(req(30));
+  s.push(req(10));
+  s.push(req(20));
+  EXPECT_EQ(s.pop(0)->sector, 30u);
+  EXPECT_EQ(s.pop(0)->sector, 10u);
+  EXPECT_EQ(s.pop(0)->sector, 20u);
+  EXPECT_FALSE(s.pop(0).has_value());
+}
+
+TEST(ElevatorScheduler, ServicesAscendingFromHead) {
+  ElevatorScheduler s;
+  for (const auto x : {50u, 10u, 30u, 70u}) s.push(req(x));
+  EXPECT_EQ(s.pop(25)->sector, 30u);
+  EXPECT_EQ(s.pop(30)->sector, 50u);
+  EXPECT_EQ(s.pop(50)->sector, 70u);
+  EXPECT_EQ(s.pop(70)->sector, 10u);  // sweep back to the bottom
+}
+
+TEST(ElevatorScheduler, HeadExactlyOnRequest) {
+  ElevatorScheduler s;
+  s.push(req(100));
+  EXPECT_EQ(s.pop(100)->sector, 100u);
+}
+
+TEST(ElevatorScheduler, EmptyPopsNothing) {
+  ElevatorScheduler s;
+  EXPECT_FALSE(s.pop(42).has_value());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ElevatorScheduler, SizeTracksPushPop) {
+  ElevatorScheduler s;
+  s.push(req(1));
+  s.push(req(2));
+  EXPECT_EQ(s.size(), 2u);
+  s.pop(0);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(MakeScheduler, CreatesRequestedKind) {
+  auto fifo = make_scheduler(SchedulerKind::kFifo);
+  auto elev = make_scheduler(SchedulerKind::kElevator);
+  ASSERT_NE(fifo, nullptr);
+  ASSERT_NE(elev, nullptr);
+  fifo->push(req(5));
+  elev->push(req(5));
+  EXPECT_EQ(fifo->pop(0)->sector, 5u);
+  EXPECT_EQ(elev->pop(0)->sector, 5u);
+}
+
+class ElevatorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ElevatorPropertyTest, DrainVisitsEveryRequestOnceInSweeps) {
+  // Property: draining the elevator from any head position yields each
+  // request exactly once, and the sequence is at most two ascending runs
+  // (one sweep up, one wrap).
+  ElevatorScheduler s;
+  const int seed = GetParam();
+  std::vector<std::uint64_t> sectors;
+  std::uint64_t x = static_cast<std::uint64_t>(seed) * 2654435761u + 1;
+  for (int i = 0; i < 50; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    sectors.push_back(x % 100000);
+    s.push(req(sectors.back()));
+  }
+  std::vector<std::uint64_t> order;
+  std::uint64_t head = static_cast<std::uint64_t>(seed) * 997 % 100000;
+  while (auto r = s.pop(head)) {
+    order.push_back(r->sector);
+    head = r->sector;
+  }
+  ASSERT_EQ(order.size(), sectors.size());
+  auto sorted_in = sectors;
+  auto sorted_out = order;
+  std::sort(sorted_in.begin(), sorted_in.end());
+  std::sort(sorted_out.begin(), sorted_out.end());
+  EXPECT_EQ(sorted_in, sorted_out);
+  int descents = 0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) ++descents;
+  }
+  EXPECT_LE(descents, 1);  // exactly one wrap at most
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElevatorPropertyTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace ess::disk

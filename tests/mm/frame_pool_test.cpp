@@ -1,0 +1,93 @@
+#include "mm/frame_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ess::mm {
+namespace {
+
+TEST(FramePool, AllocatesUpToCapacity) {
+  FramePool pool(4);
+  std::set<FrameNo> frames;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const auto f = pool.allocate(1, i);
+    ASSERT_TRUE(f.has_value());
+    frames.insert(*f);
+  }
+  EXPECT_EQ(frames.size(), 4u);
+  EXPECT_FALSE(pool.allocate(1, 99).has_value());
+  EXPECT_EQ(pool.free(), 0u);
+}
+
+TEST(FramePool, ReleaseMakesFrameReusable) {
+  FramePool pool(2);
+  const auto a = pool.allocate(1, 0);
+  pool.allocate(1, 1);
+  pool.release(*a);
+  EXPECT_EQ(pool.free(), 1u);
+  EXPECT_TRUE(pool.allocate(2, 5).has_value());
+}
+
+TEST(FramePool, DoubleReleaseThrows) {
+  FramePool pool(2);
+  const auto a = pool.allocate(1, 0);
+  pool.release(*a);
+  EXPECT_THROW(pool.release(*a), std::logic_error);
+}
+
+TEST(FramePool, FrameRecordsOwner) {
+  FramePool pool(2);
+  const auto f = pool.allocate(42, 1234);
+  EXPECT_EQ(pool.frame(*f).pid, 42u);
+  EXPECT_EQ(pool.frame(*f).vpage, 1234u);
+  EXPECT_TRUE(pool.frame(*f).referenced);
+  EXPECT_FALSE(pool.frame(*f).dirty);
+}
+
+TEST(FramePool, MarkReferencedSetsDirtyOnWrite) {
+  FramePool pool(1);
+  const auto f = pool.allocate(1, 0);
+  pool.mark_referenced(*f, /*dirty_write=*/true);
+  EXPECT_TRUE(pool.frame(*f).dirty);
+}
+
+TEST(FramePool, VictimNoneWhenEmpty) {
+  FramePool pool(4);
+  EXPECT_FALSE(pool.pick_victim().has_value());
+}
+
+TEST(FramePool, ClockGivesSecondChanceToReferenced) {
+  FramePool pool(3);
+  const auto a = pool.allocate(1, 0);
+  const auto b = pool.allocate(1, 1);
+  const auto c = pool.allocate(1, 2);
+  // All referenced: the first sweep clears bits, second returns the first
+  // encountered (clock order).
+  const auto v1 = pool.pick_victim();
+  ASSERT_TRUE(v1.has_value());
+  // Re-reference b: it must survive the next selection.
+  pool.mark_referenced(*b, false);
+  pool.release(*v1);
+  const auto v2 = pool.pick_victim();
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_NE(*v2, *b);
+  (void)a;
+  (void)c;
+}
+
+TEST(FramePool, VictimIsAlwaysInUse) {
+  FramePool pool(8);
+  std::vector<FrameNo> live;
+  for (std::uint32_t i = 0; i < 8; ++i) live.push_back(*pool.allocate(1, i));
+  pool.release(live[3]);
+  pool.release(live[6]);
+  for (int i = 0; i < 20; ++i) {
+    const auto v = pool.pick_victim();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(pool.frame(*v).in_use);
+  }
+}
+
+}  // namespace
+}  // namespace ess::mm

@@ -1,0 +1,88 @@
+#include "mm/swap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ess::mm {
+namespace {
+
+class SwapTest : public ::testing::Test {
+ protected:
+  SwapTest() : drive_(engine_, model()), drv_(drive_, &ring_) {}
+
+  static disk::ServiceModel model() {
+    return disk::ServiceModel(disk::beowulf_geometry(),
+                              disk::ServiceParams{});
+  }
+
+  sim::Engine engine_;
+  disk::Drive drive_;
+  trace::RingBuffer ring_{4096};
+  driver::IdeDriver drv_;
+};
+
+TEST_F(SwapTest, AllocatesDistinctSlots) {
+  SwapManager swap(drv_, 10000, 8);
+  std::set<SwapSlot> slots;
+  for (int i = 0; i < 8; ++i) {
+    const auto s = swap.allocate();
+    ASSERT_TRUE(s.has_value());
+    slots.insert(*s);
+  }
+  EXPECT_EQ(slots.size(), 8u);
+  EXPECT_FALSE(swap.allocate().has_value());  // full
+  EXPECT_EQ(swap.slots_used(), 8u);
+}
+
+TEST_F(SwapTest, FreeMakesSlotReusable) {
+  SwapManager swap(drv_, 10000, 2);
+  const auto a = swap.allocate();
+  swap.allocate();
+  swap.free_slot(*a);
+  EXPECT_TRUE(swap.allocate().has_value());
+}
+
+TEST_F(SwapTest, DoubleFreeThrows) {
+  SwapManager swap(drv_, 10000, 2);
+  const auto a = swap.allocate();
+  swap.free_slot(*a);
+  EXPECT_THROW(swap.free_slot(*a), std::logic_error);
+}
+
+TEST_F(SwapTest, SwapIoIsRaw4KRequests) {
+  SwapManager swap(drv_, 10000, 16);
+  const auto s = swap.allocate();
+  swap.swap_out(*s);
+  bool in_done = false;
+  swap.swap_in(*s, [&] { in_done = true; });
+  engine_.run();
+  EXPECT_TRUE(in_done);
+  const auto recs = ring_.drain(10);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].size_bytes, 4096u);
+  EXPECT_EQ(recs[0].is_write, 1);
+  EXPECT_EQ(recs[1].size_bytes, 4096u);
+  EXPECT_EQ(recs[1].is_write, 0);
+  // Both land at the slot's sector inside the swap area.
+  EXPECT_EQ(recs[0].sector, recs[1].sector);
+  EXPECT_GE(recs[0].sector, 10000u);
+  EXPECT_EQ(swap.swap_outs(), 1u);
+  EXPECT_EQ(swap.swap_ins(), 1u);
+}
+
+TEST_F(SwapTest, SlotsMapToDisjointSectorRanges) {
+  SwapManager swap(drv_, 20000, 4);
+  std::set<std::uint32_t> sectors;
+  for (int i = 0; i < 4; ++i) {
+    const auto s = swap.allocate();
+    swap.swap_out(*s);
+  }
+  engine_.run();
+  for (const auto& r : ring_.drain(10)) sectors.insert(r.sector);
+  EXPECT_EQ(sectors.size(), 4u);
+  for (const auto s : sectors) {
+    EXPECT_EQ((s - 20000) % 8, 0u);  // 8-sector (4 KB) alignment
+  }
+}
+
+}  // namespace
+}  // namespace ess::mm

@@ -1,0 +1,156 @@
+#include "mm/vm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ess::mm {
+namespace {
+
+class VmTest : public ::testing::Test {
+ protected:
+  VmTest()
+      : drive_(engine_, disk::ServiceModel(disk::beowulf_geometry(),
+                                           disk::ServiceParams{})),
+        drv_(drive_, &ring_),
+        cache_(drv_, block::CacheConfig{}),
+        frames_(kFrames),
+        swap_(drv_, 800'000, 256),
+        vm_(frames_, swap_, cache_) {}
+
+  static constexpr std::uint32_t kFrames = 16;
+
+  /// Touch and run the engine until completion; returns the fault kind.
+  FaultKind touch(Pid pid, VPage page, bool write) {
+    std::optional<FaultKind> result;
+    vm_.touch(pid, page, write, [&](FaultKind k) { result = k; });
+    engine_.run();
+    EXPECT_TRUE(result.has_value());
+    return *result;
+  }
+
+  /// Physical requests drained from the trace ring.
+  std::vector<trace::Record> physical() {
+    engine_.run();
+    return ring_.drain(100000);
+  }
+
+  sim::Engine engine_;
+  disk::Drive drive_;
+  trace::RingBuffer ring_{100000};
+  driver::IdeDriver drv_;
+  block::BufferCache cache_;
+  FramePool frames_;
+  SwapManager swap_;
+  Vm vm_;
+};
+
+TEST_F(VmTest, AnonymousFirstTouchIsZeroFillMinor) {
+  vm_.create_address_space(1, {Segment{0, 8, false, 0}});
+  EXPECT_EQ(touch(1, 0, false), FaultKind::kMinor);
+  EXPECT_TRUE(physical().empty());  // no disk I/O for zero-fill
+  EXPECT_EQ(vm_.stats().minor_faults, 1u);
+}
+
+TEST_F(VmTest, ResidentTouchIsNoFault) {
+  vm_.create_address_space(1, {Segment{0, 8, false, 0}});
+  touch(1, 3, true);
+  EXPECT_EQ(touch(1, 3, false), FaultKind::kNone);
+  EXPECT_EQ(vm_.stats().touches, 2u);
+}
+
+TEST_F(VmTest, FileBackedFaultReadsOne4KRequest) {
+  vm_.create_address_space(1, {Segment{0, 8, true, 5000}});
+  EXPECT_EQ(touch(1, 2, false), FaultKind::kMajor);
+  const auto reqs = physical();
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].size_bytes, 4096u);
+  EXPECT_EQ(reqs[0].is_write, 0);
+  // Page 2 of the segment = file blocks 5008..5011 = sector 10016.
+  EXPECT_EQ(reqs[0].sector, (5000u + 2 * 4) * 2);
+  EXPECT_EQ(vm_.stats().file_page_ins, 1u);
+}
+
+TEST_F(VmTest, FileBackedFaultHitsWarmCacheWithoutIo) {
+  cache_.read_range(5000, 4, [] {});
+  engine_.run();
+  ring_.drain(100000);
+  vm_.create_address_space(1, {Segment{0, 8, true, 5000}});
+  EXPECT_EQ(touch(1, 0, false), FaultKind::kMajor);
+  EXPECT_TRUE(physical().empty());  // satisfied from the buffer cache
+}
+
+TEST_F(VmTest, DirtyEvictionSwapsOutThenBackIn) {
+  vm_.create_address_space(1, {Segment{0, 64, false, 0}});
+  // Dirty more pages than there are frames.
+  for (VPage p = 0; p < kFrames + 4; ++p) touch(1, p, true);
+  EXPECT_GT(vm_.stats().swap_outs, 0u);
+  const auto reqs1 = physical();
+  bool saw_swap_write = false;
+  for (const auto& r : reqs1) {
+    if (r.is_write && r.size_bytes == 4096) saw_swap_write = true;
+  }
+  EXPECT_TRUE(saw_swap_write);
+
+  // Touch an evicted page: swap-in (4 KB read).
+  EXPECT_EQ(touch(1, 0, false), FaultKind::kMajor);
+  EXPECT_GT(vm_.stats().swap_ins, 0u);
+  const auto reqs2 = physical();
+  ASSERT_FALSE(reqs2.empty());
+  EXPECT_EQ(reqs2.back().size_bytes, 4096u);
+  EXPECT_EQ(reqs2.back().is_write, 0);
+}
+
+TEST_F(VmTest, CleanPagesDropWithoutSwapWrite) {
+  vm_.create_address_space(1, {Segment{0, 64, false, 0}});
+  // Read-only zero-fill touches: never dirty.
+  for (VPage p = 0; p < kFrames + 8; ++p) touch(1, p, false);
+  EXPECT_EQ(vm_.stats().swap_outs, 0u);
+  EXPECT_GT(vm_.stats().evictions, 0u);
+  // Re-touch an evicted page: zero-fill again, still no I/O.
+  EXPECT_EQ(touch(1, 0, false), FaultKind::kMinor);
+  EXPECT_TRUE(physical().empty());
+}
+
+TEST_F(VmTest, ResidentPagesCountsPresentOnly) {
+  vm_.create_address_space(1, {Segment{0, 8, false, 0}});
+  EXPECT_EQ(vm_.resident_pages(1), 0u);
+  touch(1, 0, true);
+  touch(1, 1, true);
+  EXPECT_EQ(vm_.resident_pages(1), 2u);
+}
+
+TEST_F(VmTest, TouchOutsideSegmentsThrows) {
+  vm_.create_address_space(1, {Segment{0, 4, false, 0}});
+  EXPECT_THROW(vm_.touch(1, 100, false, [](FaultKind) {}),
+               std::out_of_range);
+}
+
+TEST_F(VmTest, DestroyReleasesFramesAndSwap) {
+  vm_.create_address_space(1, {Segment{0, 64, false, 0}});
+  for (VPage p = 0; p < kFrames + 4; ++p) touch(1, p, true);
+  const auto used_before = swap_.slots_used();
+  EXPECT_GT(used_before, 0u);
+  vm_.destroy_address_space(1);
+  EXPECT_EQ(frames_.used(), 0u);
+  EXPECT_EQ(swap_.slots_used(), 0u);
+}
+
+TEST_F(VmTest, TwoProcessesCompeteForFrames) {
+  vm_.create_address_space(1, {Segment{0, 32, false, 0}});
+  vm_.create_address_space(2, {Segment{0, 32, false, 0}});
+  for (VPage p = 0; p < kFrames; ++p) touch(1, p, true);
+  // Process 2's touches evict process 1's pages.
+  for (VPage p = 0; p < 8; ++p) touch(2, p, true);
+  EXPECT_GT(vm_.stats().evictions, 0u);
+  EXPECT_GT(vm_.resident_pages(2), 0u);
+  EXPECT_LT(vm_.resident_pages(1), static_cast<std::uint64_t>(kFrames));
+}
+
+TEST_F(VmTest, MultipleSegmentsResolveCorrectly) {
+  vm_.create_address_space(
+      1, {Segment{0, 4, true, 9000}, Segment{4, 4, false, 0}});
+  EXPECT_EQ(touch(1, 2, false), FaultKind::kMajor);  // file-backed
+  EXPECT_EQ(touch(1, 5, false), FaultKind::kMinor);  // anonymous
+}
+
+}  // namespace
+}  // namespace ess::mm

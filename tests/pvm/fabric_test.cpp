@@ -1,0 +1,156 @@
+#include "pvm/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pvm/machine.hpp"
+#include "workload/builder.hpp"
+
+namespace ess::pvm {
+namespace {
+
+kernel::KernelConfig quiet_cfg() {
+  kernel::KernelConfig cfg;
+  cfg.daemons.enabled = false;
+  return cfg;
+}
+
+workload::OpTrace pingper(int peer, bool initiator) {
+  workload::OpTraceBuilder b(initiator ? "ping" : "pong");
+  b.compute(msec(10));
+  if (initiator) {
+    b.send(peer, 4096, 7);
+    b.recv(peer, 8);
+  } else {
+    b.recv(peer, 7);
+    b.send(peer, 4096, 8);
+  }
+  b.compute(msec(10));
+  return std::move(b).build();
+}
+
+TEST(Fabric, PingPongCompletes) {
+  Machine m(2, quiet_cfg());
+  m.fabric().set_world_size(2);
+  m.spawn_rank(0, pingper(1, true), 0);
+  m.spawn_rank(1, pingper(0, false), 1);
+  EXPECT_TRUE(m.run_until_all_done(sec(100)));
+  EXPECT_EQ(m.fabric().stats().sends, 2u);
+  EXPECT_EQ(m.fabric().stats().recvs, 2u);
+  EXPECT_EQ(m.fabric().stats().bytes, 8192u);
+}
+
+TEST(Fabric, MessageTransferTakesWireTime) {
+  Machine m(2, quiet_cfg());
+  m.fabric().set_world_size(2);
+  workload::OpTraceBuilder sender("s"), receiver("r");
+  sender.send(1, 1'000'000, 1);  // 1 MB over ~2.3 MB/s: ~0.45 s
+  receiver.recv(0, 1);
+  m.spawn_rank(0, std::move(sender).build(), 0);
+  m.spawn_rank(1, std::move(receiver).build(), 1);
+  const SimTime t0 = m.now();
+  ASSERT_TRUE(m.run_until_all_done(sec(100)));
+  const auto& n = m.node(1);
+  const auto& p = n.process(n.pids().front());
+  EXPECT_GT(p.finish_time - t0, msec(300));
+}
+
+TEST(Fabric, TaggedRecvMatchesCorrectMessage) {
+  Machine m(2, quiet_cfg());
+  m.fabric().set_world_size(2);
+  workload::OpTraceBuilder sender("s"), receiver("r");
+  sender.send(1, 100, /*tag=*/5);
+  sender.send(1, 100, /*tag=*/6);
+  // Receive in the opposite order: tag matching must hold.
+  receiver.recv(0, 6);
+  receiver.recv(0, 5);
+  m.spawn_rank(0, std::move(sender).build(), 0);
+  m.spawn_rank(1, std::move(receiver).build(), 1);
+  EXPECT_TRUE(m.run_until_all_done(sec(100)));
+}
+
+TEST(Fabric, AnySourceRecv) {
+  Machine m(3, quiet_cfg());
+  m.fabric().set_world_size(3);
+  workload::OpTraceBuilder a("a"), b("b"), c("c");
+  a.send(2, 64, 1);
+  b.send(2, 64, 1);
+  c.recv(-1, 1);
+  c.recv(-1, 1);
+  m.spawn_rank(0, std::move(a).build(), 0);
+  m.spawn_rank(1, std::move(b).build(), 1);
+  m.spawn_rank(2, std::move(c).build(), 2);
+  EXPECT_TRUE(m.run_until_all_done(sec(100)));
+  EXPECT_EQ(m.fabric().stats().recvs, 2u);
+}
+
+TEST(Fabric, BarrierSynchronizesSkewedRanks) {
+  Machine m(3, quiet_cfg());
+  m.fabric().set_world_size(3);
+  // Rank i computes i seconds, then hits the barrier, then finishes.
+  std::vector<mm::Pid> pids;
+  for (int r = 0; r < 3; ++r) {
+    workload::OpTraceBuilder b("skew");
+    b.compute(sec(static_cast<std::uint64_t>(r) + 1));
+    b.barrier();
+    b.compute(msec(1));
+    pids.push_back(m.spawn_rank(r, std::move(b).build(), r));
+  }
+  const SimTime t0 = m.now();
+  ASSERT_TRUE(m.run_until_all_done(sec(100)));
+  // No rank finishes before the slowest (3 s) reaches the barrier.
+  for (int r = 0; r < 3; ++r) {
+    const auto& p = m.node(r).process(pids[static_cast<std::size_t>(r)]);
+    EXPECT_GE(p.finish_time - t0, sec(3));
+  }
+  EXPECT_EQ(m.fabric().stats().barriers_completed, 1u);
+}
+
+TEST(Fabric, SendToUnknownRankThrows) {
+  Machine m(1, quiet_cfg());
+  m.fabric().set_world_size(1);
+  workload::OpTraceBuilder b("bad");
+  b.send(5, 100, 0);
+  // The lone rank starts (and faults) as soon as the world is complete.
+  EXPECT_THROW(m.spawn_rank(0, std::move(b).build(), 0), std::out_of_range);
+}
+
+TEST(Fabric, OpsWithoutFabricThrow) {
+  kernel::NodeKernel node(quiet_cfg());
+  workload::OpTraceBuilder b("lonely");
+  b.recv(0, 0);
+  EXPECT_THROW(node.spawn(std::move(b).build()), std::logic_error);
+}
+
+TEST(Machine, NodesShareOneClock) {
+  Machine m(4, quiet_cfg());
+  const SimTime t = m.now();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(m.node(i).now(), t);
+  }
+  m.run_for(sec(5));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(m.node(i).now(), t + sec(5));
+  }
+}
+
+TEST(Machine, PerNodeDisksAreIndependent) {
+  Machine m(2, quiet_cfg());
+  m.fabric().set_world_size(2);
+  workload::OpTraceBuilder writer("writer"), idle("idle");
+  const auto f = writer.output_file("/data/out");
+  writer.append(f, 64 * 1024);
+  idle.compute(msec(1));
+  m.ioctl_all(driver::TraceLevel::kStandard);
+  const SimTime t0 = m.now();
+  m.spawn_rank(0, std::move(writer).build(), 0);
+  m.spawn_rank(1, std::move(idle).build(), 1);
+  ASSERT_TRUE(m.run_until_all_done(sec(100)));
+  m.node(0).fsys().sync();
+  m.run_for(sec(2));
+  auto traces = m.collect("independent", t0);
+  EXPECT_GT(traces[0].size(), 0u);
+  EXPECT_EQ(traces[1].size(), 0u);  // node 1 never touched its disk
+}
+
+}  // namespace
+}  // namespace ess::pvm

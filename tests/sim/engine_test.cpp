@@ -1,0 +1,170 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ess::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0u);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30u);
+}
+
+TEST(Engine, SameTimeFiresInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine e;
+  SimTime fired_at = 0;
+  e.schedule_at(100, [&] {
+    e.schedule_after(50, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(Engine, SchedulingInPastThrows) {
+  Engine e;
+  e.schedule_at(10, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(5, [] {}), std::logic_error);
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelUnknownIdIsFalse) {
+  Engine e;
+  EXPECT_FALSE(e.cancel(12345));
+}
+
+TEST(Engine, CancelFiredEventIsFalse) {
+  Engine e;
+  const EventId id = e.schedule_at(1, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine e;
+  std::vector<SimTime> fired;
+  e.schedule_at(10, [&] { fired.push_back(10); });
+  e.schedule_at(20, [&] { fired.push_back(20); });
+  e.schedule_at(30, [&] { fired.push_back(30); });
+  e.run_until(20);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(e.now(), 20u);
+  e.run_until(100);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_EQ(e.now(), 100u);  // clock reaches the target even when idle
+}
+
+TEST(Engine, RunUntilSkipsCancelledHeadWithoutOverrunning) {
+  Engine e;
+  bool late_fired = false;
+  const EventId id = e.schedule_at(10, [] {});
+  e.schedule_at(50, [&] { late_fired = true; });
+  e.cancel(id);
+  e.run_until(20);
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(e.now(), 20u);
+}
+
+TEST(Engine, AdvanceFiresEverythingDue) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(5, [&] { ++count; });
+  e.schedule_at(15, [&] { ++count; });
+  e.advance(10);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(e.now(), 10u);
+}
+
+TEST(Engine, PeriodicRepeatsUntilFalse) {
+  Engine e;
+  int count = 0;
+  e.schedule_periodic(10, 10, [&] {
+    ++count;
+    return count < 5;
+  });
+  e.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.now(), 50u);
+}
+
+TEST(Engine, PeriodicFirstDelayIndependentOfPeriod) {
+  Engine e;
+  SimTime first = 0;
+  e.schedule_periodic(3, 100, [&] {
+    if (first == 0) first = e.now();
+    return false;
+  });
+  e.run();
+  EXPECT_EQ(first, 3u);
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine e;
+  EXPECT_FALSE(e.step());
+  e.schedule_at(1, [] {});
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, FiredCounterCounts) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule_at(static_cast<SimTime>(i), [] {});
+  e.run();
+  EXPECT_EQ(e.fired(), 7u);
+}
+
+TEST(Engine, EventsScheduledDuringRunAreProcessed) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) e.schedule_after(1, recurse);
+  };
+  e.schedule_at(0, recurse);
+  e.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(e.now(), 99u);
+}
+
+TEST(Engine, PendingExcludesCancelled) {
+  Engine e;
+  const EventId a = e.schedule_at(10, [] {});
+  e.schedule_at(20, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace ess::sim

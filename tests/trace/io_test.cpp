@@ -1,0 +1,89 @@
+#include "trace/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ess::trace {
+namespace {
+
+TraceSet sample() {
+  TraceSet ts("roundtrip", 7);
+  for (int i = 0; i < 100; ++i) {
+    Record r;
+    r.timestamp = static_cast<SimTime>(i) * 1000;
+    r.sector = static_cast<std::uint32_t>(i * 17);
+    r.size_bytes = 1024u << (i % 5);
+    r.is_write = static_cast<std::uint8_t>(i % 2);
+    r.outstanding = static_cast<std::uint16_t>(i % 7);
+    ts.add(r);
+  }
+  ts.set_duration(1'000'000);
+  return ts;
+}
+
+TEST(TraceIo, BinaryRoundTrip) {
+  const TraceSet original = sample();
+  std::stringstream ss;
+  write_binary(original, ss);
+  const TraceSet restored = read_binary(ss);
+  EXPECT_EQ(restored.experiment(), "roundtrip");
+  EXPECT_EQ(restored.node_id(), 7);
+  EXPECT_EQ(restored.duration(), original.duration());
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored.records()[i], original.records()[i]);
+  }
+}
+
+TEST(TraceIo, BinaryFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ess_trace_test.bin";
+  const TraceSet original = sample();
+  write_binary_file(original, path);
+  const TraceSet restored = read_binary_file(path);
+  EXPECT_EQ(restored.size(), original.size());
+}
+
+TEST(TraceIo, BadMagicThrows) {
+  std::stringstream ss;
+  ss << "NOTATRACEFILE_______";
+  EXPECT_THROW(read_binary(ss), std::runtime_error);
+}
+
+TEST(TraceIo, TruncatedStreamThrows) {
+  const TraceSet original = sample();
+  std::stringstream ss;
+  write_binary(original, ss);
+  std::string data = ss.str();
+  data.resize(data.size() / 2);
+  std::stringstream cut(data);
+  EXPECT_THROW(read_binary(cut), std::runtime_error);
+}
+
+TEST(TraceIo, CsvHasHeaderAndRows) {
+  TraceSet ts("csv", 0);
+  Record r;
+  r.timestamp = 42;
+  r.sector = 7;
+  r.size_bytes = 2048;
+  r.is_write = 1;
+  r.outstanding = 3;
+  ts.add(r);
+  std::stringstream ss;
+  write_csv(ts, ss);
+  EXPECT_EQ(ss.str(),
+            "timestamp_us,sector,size_bytes,is_write,outstanding\n"
+            "42,7,2048,1,3\n");
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  TraceSet ts("empty", -1);
+  std::stringstream ss;
+  write_binary(ts, ss);
+  const TraceSet restored = read_binary(ss);
+  EXPECT_TRUE(restored.empty());
+  EXPECT_EQ(restored.node_id(), -1);
+}
+
+}  // namespace
+}  // namespace ess::trace

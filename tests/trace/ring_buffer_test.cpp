@@ -1,0 +1,56 @@
+#include "trace/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ess::trace {
+namespace {
+
+Record rec(SimTime ts) {
+  Record r;
+  r.timestamp = ts;
+  return r;
+}
+
+TEST(RingBuffer, PushAndDrain) {
+  RingBuffer rb(10);
+  rb.push(rec(1));
+  rb.push(rec(2));
+  EXPECT_EQ(rb.size(), 2u);
+  const auto out = rb.drain(10);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].timestamp, 1u);
+  EXPECT_EQ(out[1].timestamp, 2u);
+  EXPECT_EQ(rb.size(), 0u);
+}
+
+TEST(RingBuffer, DrainRespectsMax) {
+  RingBuffer rb(10);
+  for (int i = 0; i < 5; ++i) rb.push(rec(static_cast<SimTime>(i)));
+  const auto out = rb.drain(3);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_EQ(rb.drain(10)[0].timestamp, 3u);  // order preserved
+}
+
+TEST(RingBuffer, OverflowDropsOldest) {
+  RingBuffer rb(3);
+  for (int i = 0; i < 5; ++i) rb.push(rec(static_cast<SimTime>(i)));
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.dropped(), 2u);
+  EXPECT_EQ(rb.pushed(), 5u);
+  const auto out = rb.drain(3);
+  EXPECT_EQ(out[0].timestamp, 2u);  // 0 and 1 were dropped
+}
+
+TEST(RingBuffer, DrainEmptyIsEmpty) {
+  RingBuffer rb(4);
+  EXPECT_TRUE(rb.drain(8).empty());
+}
+
+TEST(RingBuffer, CapacityReported) {
+  RingBuffer rb(7);
+  EXPECT_EQ(rb.capacity(), 7u);
+}
+
+}  // namespace
+}  // namespace ess::trace

@@ -1,0 +1,91 @@
+#include "trace/trace_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ess::trace {
+namespace {
+
+Record rec(SimTime ts, std::uint32_t sector, bool write,
+           std::uint32_t size = 1024) {
+  Record r;
+  r.timestamp = ts;
+  r.sector = sector;
+  r.size_bytes = size;
+  r.is_write = write ? 1 : 0;
+  return r;
+}
+
+TEST(TraceSet, MetadataRoundTrip) {
+  TraceSet ts("exp", 3);
+  EXPECT_EQ(ts.experiment(), "exp");
+  EXPECT_EQ(ts.node_id(), 3);
+  EXPECT_TRUE(ts.empty());
+}
+
+TEST(TraceSet, DurationDefaultsToLastTimestamp) {
+  TraceSet ts;
+  ts.add(rec(100, 0, true));
+  ts.add(rec(500, 0, true));
+  EXPECT_EQ(ts.duration(), 500u);
+  ts.set_duration(1000);
+  EXPECT_EQ(ts.duration(), 1000u);
+}
+
+TEST(TraceSet, SliceKeepsHalfOpenInterval) {
+  TraceSet ts;
+  for (SimTime t : {10u, 20u, 30u, 40u}) ts.add(rec(t, 0, true));
+  const auto s = ts.slice(20, 40);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.records()[0].timestamp, 20u);
+  EXPECT_EQ(s.records()[1].timestamp, 30u);
+  EXPECT_EQ(s.duration(), 20u);
+}
+
+TEST(TraceSet, FilterDir) {
+  TraceSet ts;
+  ts.add(rec(1, 0, true));
+  ts.add(rec(2, 0, false));
+  ts.add(rec(3, 0, true));
+  EXPECT_EQ(ts.filter_dir(true).size(), 2u);
+  EXPECT_EQ(ts.filter_dir(false).size(), 1u);
+}
+
+TEST(TraceSet, MergeSortsAndTakesLongestDuration) {
+  TraceSet a("x", 0), b("x", 1);
+  a.add(rec(10, 0, true));
+  a.add(rec(30, 0, true));
+  a.set_duration(100);
+  b.add(rec(20, 0, false));
+  b.set_duration(200);
+  a.merge(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.records()[1].timestamp, 20u);
+  EXPECT_EQ(a.duration(), 200u);
+}
+
+TEST(TraceSet, RebaseDropsEarlyAndShifts) {
+  TraceSet ts;
+  ts.add(rec(5, 0, true));
+  ts.add(rec(15, 0, true));
+  ts.add(rec(25, 0, true));
+  ts.set_duration(30);
+  ts.rebase(10);
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.records()[0].timestamp, 5u);
+  EXPECT_EQ(ts.records()[1].timestamp, 15u);
+  EXPECT_EQ(ts.duration(), 20u);
+}
+
+TEST(TraceSet, SortByTimeIsStable) {
+  TraceSet ts;
+  ts.add(rec(10, 1, true));
+  ts.add(rec(5, 2, true));
+  ts.add(rec(10, 3, true));
+  ts.sort_by_time();
+  EXPECT_EQ(ts.records()[0].sector, 2u);
+  EXPECT_EQ(ts.records()[1].sector, 1u);  // stable: 1 before 3 at t=10
+  EXPECT_EQ(ts.records()[2].sector, 3u);
+}
+
+}  // namespace
+}  // namespace ess::trace

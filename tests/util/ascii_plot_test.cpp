@@ -1,0 +1,76 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ess {
+namespace {
+
+TEST(AsciiScatter, RenderContainsTitleAndLabels) {
+  AsciiScatter p("My Title", "time", "sector");
+  p.add(1.0, 2.0);
+  const auto out = p.render();
+  EXPECT_NE(out.find("My Title"), std::string::npos);
+  EXPECT_NE(out.find("time"), std::string::npos);
+  EXPECT_NE(out.find("sector"), std::string::npos);
+}
+
+TEST(AsciiScatter, PointAppearsInGrid) {
+  AsciiScatter p("t", "x", "y", 20, 10);
+  p.set_x_range(0, 10);
+  p.set_y_range(0, 10);
+  p.add(5.0, 5.0, '@');
+  EXPECT_NE(p.render().find('@'), std::string::npos);
+}
+
+TEST(AsciiScatter, OutOfRangePointsClipped) {
+  AsciiScatter p("t", "x", "y", 20, 10);
+  p.set_x_range(0, 1);
+  p.set_y_range(0, 1);
+  p.add(100.0, 100.0, '@');
+  EXPECT_EQ(p.render().find('@'), std::string::npos);
+}
+
+TEST(AsciiScatter, AutoScalesToData) {
+  AsciiScatter p("t", "x", "y", 20, 10);
+  p.add(-5.0, 42.0, '#');
+  p.add(5.0, 52.0, '#');
+  const auto out = p.render();
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);  // y range lower bound
+}
+
+TEST(AsciiScatter, EmptyPlotRendersFrame) {
+  AsciiScatter p("empty", "x", "y", 10, 5);
+  const auto out = p.render();
+  EXPECT_NE(out.find("(0 points)"), std::string::npos);
+}
+
+TEST(AsciiBarChart, BarsScaleWithValues) {
+  AsciiBarChart c("chart", 10);
+  c.add("big", 100.0);
+  c.add("small", 10.0);
+  const auto out = c.render();
+  // The big bar has 10 hashes, the small one 1.
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_NE(out.find("small"), std::string::npos);
+}
+
+TEST(AsciiBarChart, HandlesAllZeroValues) {
+  AsciiBarChart c("zeros", 10);
+  c.add("a", 0.0);
+  const auto out = c.render();
+  EXPECT_NE(out.find("a"), std::string::npos);
+}
+
+TEST(AsciiBarChart, LabelsAligned) {
+  AsciiBarChart c("t", 5);
+  c.add("x", 1.0);
+  c.add("longer", 1.0);
+  const auto out = c.render();
+  // Both bars start at the same column: "x" padded to "longer" width.
+  EXPECT_NE(out.find("x      |"), std::string::npos);
+  EXPECT_NE(out.find("longer |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ess

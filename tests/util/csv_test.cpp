@@ -1,0 +1,52 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ess {
+namespace {
+
+TEST(CsvWriter, HeaderAndRows) {
+  CsvWriter csv;
+  csv.header({"a", "b", "c"});
+  csv.row(1, 2.5, "x");
+  EXPECT_EQ(csv.str(), "a,b,c\n1,2.5,x\n");
+}
+
+TEST(CsvWriter, EscapesCommasAndQuotes) {
+  CsvWriter csv;
+  csv.row("plain", "has,comma", "has\"quote");
+  EXPECT_EQ(csv.str(), "plain,\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST(CsvWriter, EscapesNewlines) {
+  CsvWriter csv;
+  csv.row("a\nb");
+  EXPECT_EQ(csv.str(), "\"a\nb\"\n");
+}
+
+TEST(CsvWriter, MixedTypes) {
+  CsvWriter csv;
+  csv.row(42u, -7, 3.14159, true);
+  EXPECT_EQ(csv.str(), "42,-7,3.14159,1\n");
+}
+
+TEST(CsvWriter, FileModeWritesToDisk) {
+  const std::string path = ::testing::TempDir() + "/ess_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.header({"x"});
+    csv.row(5);
+  }
+  std::ifstream f(path);
+  std::string all((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(all, "x\n5\n");
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_zz/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ess

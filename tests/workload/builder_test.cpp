@@ -1,0 +1,137 @@
+#include "workload/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ess::workload {
+namespace {
+
+TEST(OpTraceBuilder, AdjacentComputesMerge) {
+  OpTraceBuilder b("x");
+  b.compute(100).compute(200);
+  const auto t = std::move(b).build();
+  ASSERT_EQ(t.ops.size(), 1u);
+  EXPECT_EQ(std::get<ComputeOp>(t.ops[0]).duration, 300u);
+}
+
+TEST(OpTraceBuilder, ZeroComputeSkipped) {
+  OpTraceBuilder b("x");
+  b.compute(0);
+  EXPECT_TRUE(std::move(b).build().ops.empty());
+}
+
+TEST(OpTraceBuilder, TouchesGroupIntoOneOp) {
+  OpTraceBuilder b("x");
+  b.touch(1, false).touch(2, true).touch(3, false);
+  const auto t = std::move(b).build();
+  ASSERT_EQ(t.ops.size(), 1u);
+  const auto& touch = std::get<TouchOp>(t.ops[0]);
+  ASSERT_EQ(touch.pages.size(), 3u);
+  EXPECT_EQ(touch.pages[1].vpage, 2u);
+  EXPECT_TRUE(touch.pages[1].write);
+}
+
+TEST(OpTraceBuilder, ComputeClosesTouchGroup) {
+  OpTraceBuilder b("x");
+  b.touch(1, false).compute(10).touch(2, false);
+  const auto t = std::move(b).build();
+  ASSERT_EQ(t.ops.size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<TouchOp>(t.ops[0]));
+  EXPECT_TRUE(std::holds_alternative<ComputeOp>(t.ops[1]));
+  EXPECT_TRUE(std::holds_alternative<TouchOp>(t.ops[2]));
+}
+
+TEST(OpTraceBuilder, TouchRangeCoversPages) {
+  OpTraceBuilder b("x");
+  b.touch_range(10, 5, true);
+  const auto t = std::move(b).build();
+  const auto& touch = std::get<TouchOp>(t.ops[0]);
+  ASSERT_EQ(touch.pages.size(), 5u);
+  EXPECT_EQ(touch.pages[0].vpage, 10u);
+  EXPECT_EQ(touch.pages[4].vpage, 14u);
+}
+
+TEST(OpTraceBuilder, FileRefsIndexDeclarationOrder) {
+  OpTraceBuilder b("x");
+  const auto in = b.input_file("/in", 100);
+  const auto out = b.output_file("/out");
+  EXPECT_EQ(in, 0u);
+  EXPECT_EQ(out, 1u);
+  b.read(in, 0, 10).append(out, 20);
+  const auto t = std::move(b).build();
+  EXPECT_EQ(t.files[0].path, "/in");
+  EXPECT_FALSE(t.files[0].create);
+  EXPECT_EQ(t.files[0].input_size, 100u);
+  EXPECT_TRUE(t.files[1].create);
+  EXPECT_EQ(std::get<WriteOp>(t.ops[1]).offset, kAppend);
+}
+
+TEST(OpTraceBuilder, BadFileRefThrows) {
+  OpTraceBuilder b("x");
+  EXPECT_THROW(b.read(3, 0, 10), std::out_of_range);
+}
+
+TEST(OpTraceBuilder, PageArithmetic) {
+  OpTraceBuilder b("x");
+  b.set_image_bytes(10'000);  // 3 pages
+  b.set_anon_bytes(5'000);    // 2 pages
+  EXPECT_EQ(b.peek().image_pages(), 3u);
+  EXPECT_EQ(b.peek().anon_pages(), 2u);
+  EXPECT_EQ(b.anon_first_page(), 3u);
+}
+
+TEST(OpTraceBuilder, TotalsSumOps) {
+  OpTraceBuilder b("x");
+  const auto in = b.input_file("/in", 1000);
+  const auto out = b.output_file("/out");
+  b.compute(100).read(in, 0, 400).compute(50).write(out, 0, 300);
+  const auto t = std::move(b).build();
+  EXPECT_EQ(t.total_compute(), 150u);
+  EXPECT_EQ(t.total_read_bytes(), 400u);
+  EXPECT_EQ(t.total_write_bytes(), 300u);
+}
+
+TEST(OpTraceBuilder, WorkingSetStaysInRange) {
+  OpTraceBuilder b("x");
+  b.set_anon_bytes(100 * 4096);
+  Rng rng(1);
+  b.compute_with_working_set(sec(1), 0, 100, 10, 20, 0.5, rng);
+  const auto t = std::move(b).build();
+  SimTime compute = 0;
+  for (const auto& op : t.ops) {
+    if (const auto* c = std::get_if<ComputeOp>(&op)) compute += c->duration;
+    if (const auto* touch = std::get_if<TouchOp>(&op)) {
+      for (const auto& pa : touch->pages) {
+        EXPECT_LT(pa.vpage, 100u);
+      }
+    }
+  }
+  EXPECT_EQ(compute, sec(1) / 10 * 10);
+}
+
+TEST(OpTraceBuilder, WorkingSetSamplingIsSkewed) {
+  OpTraceBuilder b("x");
+  Rng rng(2);
+  b.compute_with_working_set(sec(1), 0, 1000, 50, 100, 0.5, rng);
+  const auto t = std::move(b).build();
+  std::uint64_t hot = 0, total = 0;
+  for (const auto& op : t.ops) {
+    if (const auto* touch = std::get_if<TouchOp>(&op)) {
+      for (const auto& pa : touch->pages) {
+        ++total;
+        if (pa.vpage < 250) ++hot;  // the hot quarter
+      }
+    }
+  }
+  ASSERT_GT(total, 0u);
+  // ~75% + 25%*25% ≈ 81% of touches land in the hot quarter.
+  EXPECT_GT(static_cast<double>(hot) / static_cast<double>(total), 0.6);
+}
+
+TEST(OpTraceBuilder, WarmFractionCarried) {
+  OpTraceBuilder b("x");
+  b.set_image_warm_fraction(0.25);
+  EXPECT_DOUBLE_EQ(std::move(b).build().image_warm_fraction, 0.25);
+}
+
+}  // namespace
+}  // namespace ess::workload

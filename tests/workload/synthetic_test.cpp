@@ -1,0 +1,99 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ess::workload {
+namespace {
+
+TEST(Synthetic, SequentialReadCoversFile) {
+  const auto t = sequential_read("r", "/f", 100'000, 8192, 100);
+  EXPECT_EQ(t.total_read_bytes(), 100'000u);
+  // Offsets are sequential and contiguous.
+  std::uint64_t expect = 0;
+  for (const auto& op : t.ops) {
+    if (const auto* r = std::get_if<ReadOp>(&op)) {
+      EXPECT_EQ(r->offset, expect);
+      expect += r->len;
+    }
+  }
+}
+
+TEST(Synthetic, SequentialWriteTotals) {
+  const auto t = sequential_write("w", "/f", 50'000, 4096, 10);
+  EXPECT_EQ(t.total_write_bytes(), 50'000u);
+  EXPECT_TRUE(t.files[0].create);
+}
+
+TEST(Synthetic, RandomReadStaysInFile) {
+  Rng rng(3);
+  const auto t = random_read("rr", "/f", 1'000'000, 100, 4096, 10, rng);
+  for (const auto& op : t.ops) {
+    if (const auto* r = std::get_if<ReadOp>(&op)) {
+      EXPECT_LE(r->offset + r->len, 1'000'000u);
+    }
+  }
+  EXPECT_EQ(t.total_read_bytes(), 100u * 4096);
+}
+
+TEST(Synthetic, StridedReadHitsEveryStride) {
+  const auto t = strided_read("s", "/f", 100'000, 512, 10'000, 10);
+  int reads = 0;
+  for (const auto& op : t.ops) {
+    if (const auto* r = std::get_if<ReadOp>(&op)) {
+      EXPECT_EQ(r->offset % 10'000, 0u);
+      ++reads;
+    }
+  }
+  EXPECT_EQ(reads, 10);
+}
+
+class SpecSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpecSweep, GeneratedTraceMatchesSpecTotals) {
+  SyntheticSpec spec;
+  spec.duration = sec(10);
+  spec.read_fraction = GetParam();
+  spec.explicit_io_bytes = 1'000'000;
+  spec.io_chunk_bytes = 16 * 1024;
+  spec.phases = 4;
+  Rng rng(7);
+  const auto t = generate(spec, rng);
+  const double rf = GetParam();
+  EXPECT_NEAR(static_cast<double>(t.total_read_bytes()),
+              rf * 1'000'000, 20'000);
+  EXPECT_NEAR(static_cast<double>(t.total_write_bytes()),
+              (1.0 - rf) * 1'000'000, 20'000);
+  EXPECT_NEAR(to_seconds(t.total_compute()), 10.0, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(ReadFractions, SpecSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+TEST(Synthetic, SpecWithMemoryPressureEmitsTouches) {
+  SyntheticSpec spec;
+  spec.duration = sec(4);
+  spec.image_bytes = 1024 * 1024;
+  spec.anon_bytes = 2 * 1024 * 1024;
+  spec.working_set_pages = 128;
+  Rng rng(9);
+  const auto t = generate(spec, rng);
+  EXPECT_EQ(t.image_bytes, 1024u * 1024);
+  bool has_touch = false;
+  for (const auto& op : t.ops) {
+    if (std::holds_alternative<TouchOp>(op)) has_touch = true;
+  }
+  EXPECT_TRUE(has_touch);
+}
+
+TEST(Synthetic, SpecWithoutIoStillComputes) {
+  SyntheticSpec spec;
+  spec.duration = sec(2);
+  spec.explicit_io_bytes = 0;
+  Rng rng(11);
+  const auto t = generate(spec, rng);
+  EXPECT_GT(t.total_compute(), 0u);
+  EXPECT_EQ(t.total_read_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ess::workload

@@ -1,0 +1,153 @@
+#include "workload/wdl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/synthetic.hpp"
+
+namespace ess::workload {
+namespace {
+
+OpTrace parse(const std::string& text) {
+  Rng rng(1);
+  return parse_wdl(text, rng);
+}
+
+TEST(Wdl, ParsesFullWorkload) {
+  const auto t = parse(R"(
+# a small checkpointer
+workload demo
+image 65536 warm 0.5
+anon 1048576
+input /data/in.bin 4096 goal 30000
+output /data/out.bin
+touch 0 16 r
+compute 1.5
+read 0 0 4096
+write 1 append 2048
+write 1 0 100
+scratch /tmp/t 512
+unlink /tmp/t
+)");
+  EXPECT_EQ(t.app_name, "demo");
+  EXPECT_EQ(t.image_bytes, 65536u);
+  EXPECT_DOUBLE_EQ(t.image_warm_fraction, 0.5);
+  EXPECT_EQ(t.anon_bytes, 1048576u);
+  ASSERT_EQ(t.files.size(), 2u);
+  EXPECT_EQ(t.files[0].goal_block, 30000u);
+  EXPECT_TRUE(t.files[1].create);
+  EXPECT_EQ(t.total_compute(), 1'500'000u);
+  EXPECT_EQ(t.total_read_bytes(), 4096u);
+  EXPECT_EQ(t.total_write_bytes(), 2148u);
+}
+
+TEST(Wdl, RepeatExpandsBlock) {
+  const auto t = parse(R"(
+workload looper
+output /o
+repeat 3
+compute 1
+write 0 append 100
+end
+)");
+  EXPECT_EQ(t.total_write_bytes(), 300u);
+  // Computes between writes cannot merge: 3 computes + 3 writes.
+  EXPECT_EQ(t.ops.size(), 6u);
+}
+
+TEST(Wdl, MessagingDirectives) {
+  const auto t = parse(R"(
+workload mpi
+send 2 4096 7
+recv any 7
+recv 0 9
+barrier 4
+)");
+  ASSERT_EQ(t.ops.size(), 4u);
+  EXPECT_EQ(std::get<SendOp>(t.ops[0]).dst_rank, 2);
+  EXPECT_EQ(std::get<RecvOp>(t.ops[1]).src_rank, -1);
+  EXPECT_EQ(std::get<RecvOp>(t.ops[2]).src_rank, 0);
+  EXPECT_EQ(std::get<BarrierOp>(t.ops[3]).participants, 4);
+}
+
+TEST(Wdl, WorksetEmitsTouchesAndCompute) {
+  const auto t = parse(R"(
+workload ws
+anon 409600
+workset 2.0 0 100 4 8 0.5
+)");
+  EXPECT_NEAR(to_seconds(t.total_compute()), 2.0, 0.01);
+  bool has_touch = false;
+  for (const auto& op : t.ops) {
+    if (std::holds_alternative<TouchOp>(op)) has_touch = true;
+  }
+  EXPECT_TRUE(has_touch);
+}
+
+TEST(Wdl, ErrorsCarryLineNumbers) {
+  try {
+    parse("workload x\nbogus 1 2\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Wdl, MissingNameRejected) {
+  EXPECT_THROW(parse("compute 1\n"), std::runtime_error);
+}
+
+TEST(Wdl, BadFileIndexRejected) {
+  EXPECT_THROW(parse("workload x\nread 0 0 10\n"), std::runtime_error);
+}
+
+TEST(Wdl, RepeatWithoutEndRejected) {
+  EXPECT_THROW(parse("workload x\nrepeat 2\ncompute 1\n"),
+               std::runtime_error);
+}
+
+TEST(Wdl, RoundTripPreservesSemantics) {
+  const auto original = parse(R"(
+workload rt
+image 8192 warm 1
+anon 40960
+output /o
+touch 0 2 r
+touch 2 3 w
+compute 0.25
+write 0 append 512
+send 1 64 3
+recv any 3
+barrier
+)");
+  Rng rng(2);
+  const auto back = parse_wdl(to_wdl(original), rng);
+  EXPECT_EQ(back.app_name, original.app_name);
+  EXPECT_EQ(back.image_bytes, original.image_bytes);
+  EXPECT_EQ(back.anon_bytes, original.anon_bytes);
+  EXPECT_EQ(back.total_compute(), original.total_compute());
+  EXPECT_EQ(back.total_write_bytes(), original.total_write_bytes());
+  EXPECT_EQ(back.ops.size(), original.ops.size());
+}
+
+TEST(Wdl, SerializesSyntheticTrace) {
+  // A generated synthetic workload serializes and re-parses with the same
+  // totals — the "shareable parameter set" path.
+  Rng gen_rng(3);
+  SyntheticSpec spec;
+  spec.duration = sec(5);
+  spec.explicit_io_bytes = 500'000;
+  spec.read_fraction = 0.4;
+  spec.image_bytes = 256 * 1024;
+  spec.anon_bytes = 512 * 1024;
+  spec.working_set_pages = 32;
+  const auto original = generate(spec, gen_rng);
+  Rng rng(4);
+  const auto back = parse_wdl(to_wdl(original), rng);
+  EXPECT_EQ(back.total_read_bytes(), original.total_read_bytes());
+  EXPECT_EQ(back.total_write_bytes(), original.total_write_bytes());
+  EXPECT_EQ(back.total_compute(), original.total_compute());
+  EXPECT_EQ(back.image_bytes, original.image_bytes);
+}
+
+}  // namespace
+}  // namespace ess::workload

@@ -1,0 +1,44 @@
+# gnuplot script: render the paper's figures from the CSVs the bench
+# binaries write into bench_out/.
+#
+#   cd <build-or-run-dir> && gnuplot -c ../tools/plot_figures.gp
+#
+# Produces PNGs next to the CSVs. Requires gnuplot >= 5.
+set datafile separator ","
+set terminal pngcairo size 900,540
+out = "bench_out/"
+
+set output out."fig1_baseline.png"
+set title "Figure 1. I/O Requests (baseline)"
+set xlabel "time (s)"; set ylabel "disk sector"
+plot out."fig1_baseline.csv" every ::1 using 1:2 with points pt 7 ps 0.3 \
+     title "requests"
+
+do for [f in "fig2_ppm fig3_wavelet fig4_nbody fig5_combined"] {
+  set output out.f.".png"
+  set title "Request size vs time (".f.")"
+  set xlabel "time (s)"; set ylabel "request size (KB)"
+  plot out.f.".csv" every ::1 using 1:($3==1 ? $2 : 1/0) with points \
+         pt 7 ps 0.4 lc rgb "#c44" title "writes", \
+       out.f.".csv" every ::1 using 1:($3==0 ? $2 : 1/0) with points \
+         pt 9 ps 0.4 lc rgb "#46c" title "reads"
+}
+
+set output out."fig6_combined.png"
+set title "Figure 6. I/O Requests (combined)"
+set xlabel "time (s)"; set ylabel "disk sector"
+plot out."fig6_combined.csv" every ::1 using 1:2 with points pt 7 ps 0.3 \
+     title "requests"
+
+set output out."fig7_spatial.png"
+set title "Figure 7. Spatial Locality (combined)"
+set style fill solid 0.6
+set xlabel "sector band (start, x100K)"; set ylabel "% of I/O requests"
+plot out."fig7_spatial.csv" every ::1 using ($1/100000):3 with boxes \
+     title "band share"
+
+set output out."fig8_temporal.png"
+set title "Figure 8. Temporal Locality (combined)"
+set xlabel "disk sector"; set ylabel "accesses per second"
+plot out."fig8_temporal.csv" every ::1 using 1:3 with impulses \
+     title "per-sector frequency"

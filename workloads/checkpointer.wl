@@ -1,0 +1,11 @@
+# A checkpoint-heavy simulation: 60 s of compute with a 2 MB working set,
+# a 64 KB restart dump every epoch. Run with examples/wdl_runner.
+workload checkpointer
+image 524288 warm 1.0
+anon 2097152
+output /data/checkpoints.bin
+touch 0 128 r
+repeat 6
+workset 10.0 128 512 8 32 0.5
+write 0 append 65536
+end

@@ -1,0 +1,10 @@
+# A streaming scan: reads a 8 MB dataset in 64 KB chunks with light
+# processing between reads — exercises read-ahead up to the cache ceiling.
+workload scanner
+image 262144 warm 1.0
+anon 1048576
+input /data/dataset.bin 8388608 goal 70000
+repeat 128
+read 0 0 65536
+compute 0.05
+end

@@ -1,0 +1,9 @@
+# Deliberate memory over-commit: a 12 MB anonymous footprint on the 16 MB
+# node, initialized in full and then cycled — sustained 4 KB swap traffic
+# (the paging class isolated).
+workload thrasher
+image 131072 warm 1.0
+anon 12582912
+touch 0 32 r
+touch 32 3072 w
+workset 120.0 32 3072 64 96 0.5
