@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_atime.dir/ablation_atime.cpp.o"
+  "CMakeFiles/ablation_atime.dir/ablation_atime.cpp.o.d"
+  "ablation_atime"
+  "ablation_atime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_atime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

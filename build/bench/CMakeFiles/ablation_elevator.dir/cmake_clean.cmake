@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_elevator.dir/ablation_elevator.cpp.o"
+  "CMakeFiles/ablation_elevator.dir/ablation_elevator.cpp.o.d"
+  "ablation_elevator"
+  "ablation_elevator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_elevator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_checkpoint_class.dir/ext_checkpoint_class.cpp.o"
+  "CMakeFiles/ext_checkpoint_class.dir/ext_checkpoint_class.cpp.o.d"
+  "ext_checkpoint_class"
+  "ext_checkpoint_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_checkpoint_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

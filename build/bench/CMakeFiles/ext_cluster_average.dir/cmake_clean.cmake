@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cluster_average.dir/ext_cluster_average.cpp.o"
+  "CMakeFiles/ext_cluster_average.dir/ext_cluster_average.cpp.o.d"
+  "ext_cluster_average"
+  "ext_cluster_average.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cluster_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_parallel_machine.dir/ext_parallel_machine.cpp.o"
+  "CMakeFiles/ext_parallel_machine.dir/ext_parallel_machine.cpp.o.d"
+  "ext_parallel_machine"
+  "ext_parallel_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_parallel_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

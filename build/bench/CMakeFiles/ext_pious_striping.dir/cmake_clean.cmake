@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_pious_striping.dir/ext_pious_striping.cpp.o"
+  "CMakeFiles/ext_pious_striping.dir/ext_pious_striping.cpp.o.d"
+  "ext_pious_striping"
+  "ext_pious_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pious_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

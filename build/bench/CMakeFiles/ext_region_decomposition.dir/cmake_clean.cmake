@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_region_decomposition.dir/ext_region_decomposition.cpp.o"
+  "CMakeFiles/ext_region_decomposition.dir/ext_region_decomposition.cpp.o.d"
+  "ext_region_decomposition"
+  "ext_region_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_region_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_replay_tuning.dir/ext_replay_tuning.cpp.o"
+  "CMakeFiles/ext_replay_tuning.dir/ext_replay_tuning.cpp.o.d"
+  "ext_replay_tuning"
+  "ext_replay_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_replay_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_synthetic_match.dir/ext_synthetic_match.cpp.o"
+  "CMakeFiles/ext_synthetic_match.dir/ext_synthetic_match.cpp.o.d"
+  "ext_synthetic_match"
+  "ext_synthetic_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_synthetic_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ppm.dir/fig2_ppm.cpp.o"
+  "CMakeFiles/fig2_ppm.dir/fig2_ppm.cpp.o.d"
+  "fig2_ppm"
+  "fig2_ppm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

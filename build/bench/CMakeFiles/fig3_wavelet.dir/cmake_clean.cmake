@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_wavelet.dir/fig3_wavelet.cpp.o"
+  "CMakeFiles/fig3_wavelet.dir/fig3_wavelet.cpp.o.d"
+  "fig3_wavelet"
+  "fig3_wavelet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_wavelet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

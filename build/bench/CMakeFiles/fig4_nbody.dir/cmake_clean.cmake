@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_nbody.dir/fig4_nbody.cpp.o"
+  "CMakeFiles/fig4_nbody.dir/fig4_nbody.cpp.o.d"
+  "fig4_nbody"
+  "fig4_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_combined_size.dir/fig5_combined_size.cpp.o"
+  "CMakeFiles/fig5_combined_size.dir/fig5_combined_size.cpp.o.d"
+  "fig5_combined_size"
+  "fig5_combined_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_combined_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_combined_sectors.dir/fig6_combined_sectors.cpp.o"
+  "CMakeFiles/fig6_combined_sectors.dir/fig6_combined_sectors.cpp.o.d"
+  "fig6_combined_sectors"
+  "fig6_combined_sectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_combined_sectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_spatial.dir/fig7_spatial.cpp.o"
+  "CMakeFiles/fig7_spatial.dir/fig7_spatial.cpp.o.d"
+  "fig7_spatial"
+  "fig7_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_temporal.dir/fig8_temporal.cpp.o"
+  "CMakeFiles/fig8_temporal.dir/fig8_temporal.cpp.o.d"
+  "fig8_temporal"
+  "fig8_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_rw_mix.dir/table1_rw_mix.cpp.o"
+  "CMakeFiles/table1_rw_mix.dir/table1_rw_mix.cpp.o.d"
+  "table1_rw_mix"
+  "table1_rw_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rw_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_run.dir/cluster_run.cpp.o"
+  "CMakeFiles/cluster_run.dir/cluster_run.cpp.o.d"
+  "cluster_run"
+  "cluster_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

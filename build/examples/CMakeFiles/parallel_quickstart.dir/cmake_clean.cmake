@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_quickstart.dir/parallel_quickstart.cpp.o"
+  "CMakeFiles/parallel_quickstart.dir/parallel_quickstart.cpp.o.d"
+  "parallel_quickstart"
+  "parallel_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

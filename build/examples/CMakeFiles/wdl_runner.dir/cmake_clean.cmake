@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdl_runner.dir/wdl_runner.cpp.o"
+  "CMakeFiles/wdl_runner.dir/wdl_runner.cpp.o.d"
+  "wdl_runner"
+  "wdl_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdl_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("disk")
+subdirs("trace")
+subdirs("driver")
+subdirs("block")
+subdirs("mm")
+subdirs("fs")
+subdirs("kernel")
+subdirs("workload")
+subdirs("replay")
+subdirs("pvm")
+subdirs("apps")
+subdirs("analysis")
+subdirs("cluster")
+subdirs("core")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/characterize.cpp" "src/analysis/CMakeFiles/ess_analysis.dir/characterize.cpp.o" "gcc" "src/analysis/CMakeFiles/ess_analysis.dir/characterize.cpp.o.d"
+  "/root/repo/src/analysis/patterns.cpp" "src/analysis/CMakeFiles/ess_analysis.dir/patterns.cpp.o" "gcc" "src/analysis/CMakeFiles/ess_analysis.dir/patterns.cpp.o.d"
+  "/root/repo/src/analysis/phases.cpp" "src/analysis/CMakeFiles/ess_analysis.dir/phases.cpp.o" "gcc" "src/analysis/CMakeFiles/ess_analysis.dir/phases.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/ess_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/ess_analysis.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/ess_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ess_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

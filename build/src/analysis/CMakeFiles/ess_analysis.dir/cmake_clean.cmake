@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_analysis.dir/characterize.cpp.o"
+  "CMakeFiles/ess_analysis.dir/characterize.cpp.o.d"
+  "CMakeFiles/ess_analysis.dir/patterns.cpp.o"
+  "CMakeFiles/ess_analysis.dir/patterns.cpp.o.d"
+  "CMakeFiles/ess_analysis.dir/phases.cpp.o"
+  "CMakeFiles/ess_analysis.dir/phases.cpp.o.d"
+  "CMakeFiles/ess_analysis.dir/report.cpp.o"
+  "CMakeFiles/ess_analysis.dir/report.cpp.o.d"
+  "libess_analysis.a"
+  "libess_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

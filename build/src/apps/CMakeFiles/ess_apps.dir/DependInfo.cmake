@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/nbody/nbody_app.cpp" "src/apps/CMakeFiles/ess_apps.dir/nbody/nbody_app.cpp.o" "gcc" "src/apps/CMakeFiles/ess_apps.dir/nbody/nbody_app.cpp.o.d"
+  "/root/repo/src/apps/nbody/octree.cpp" "src/apps/CMakeFiles/ess_apps.dir/nbody/octree.cpp.o" "gcc" "src/apps/CMakeFiles/ess_apps.dir/nbody/octree.cpp.o.d"
+  "/root/repo/src/apps/ppm/euler2d.cpp" "src/apps/CMakeFiles/ess_apps.dir/ppm/euler2d.cpp.o" "gcc" "src/apps/CMakeFiles/ess_apps.dir/ppm/euler2d.cpp.o.d"
+  "/root/repo/src/apps/ppm/ppm_app.cpp" "src/apps/CMakeFiles/ess_apps.dir/ppm/ppm_app.cpp.o" "gcc" "src/apps/CMakeFiles/ess_apps.dir/ppm/ppm_app.cpp.o.d"
+  "/root/repo/src/apps/wavelet/compress.cpp" "src/apps/CMakeFiles/ess_apps.dir/wavelet/compress.cpp.o" "gcc" "src/apps/CMakeFiles/ess_apps.dir/wavelet/compress.cpp.o.d"
+  "/root/repo/src/apps/wavelet/wavelet2d.cpp" "src/apps/CMakeFiles/ess_apps.dir/wavelet/wavelet2d.cpp.o" "gcc" "src/apps/CMakeFiles/ess_apps.dir/wavelet/wavelet2d.cpp.o.d"
+  "/root/repo/src/apps/wavelet/wavelet_app.cpp" "src/apps/CMakeFiles/ess_apps.dir/wavelet/wavelet_app.cpp.o" "gcc" "src/apps/CMakeFiles/ess_apps.dir/wavelet/wavelet_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/ess_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ess_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

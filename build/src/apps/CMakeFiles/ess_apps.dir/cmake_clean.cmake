@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_apps.dir/nbody/nbody_app.cpp.o"
+  "CMakeFiles/ess_apps.dir/nbody/nbody_app.cpp.o.d"
+  "CMakeFiles/ess_apps.dir/nbody/octree.cpp.o"
+  "CMakeFiles/ess_apps.dir/nbody/octree.cpp.o.d"
+  "CMakeFiles/ess_apps.dir/ppm/euler2d.cpp.o"
+  "CMakeFiles/ess_apps.dir/ppm/euler2d.cpp.o.d"
+  "CMakeFiles/ess_apps.dir/ppm/ppm_app.cpp.o"
+  "CMakeFiles/ess_apps.dir/ppm/ppm_app.cpp.o.d"
+  "CMakeFiles/ess_apps.dir/wavelet/compress.cpp.o"
+  "CMakeFiles/ess_apps.dir/wavelet/compress.cpp.o.d"
+  "CMakeFiles/ess_apps.dir/wavelet/wavelet2d.cpp.o"
+  "CMakeFiles/ess_apps.dir/wavelet/wavelet2d.cpp.o.d"
+  "CMakeFiles/ess_apps.dir/wavelet/wavelet_app.cpp.o"
+  "CMakeFiles/ess_apps.dir/wavelet/wavelet_app.cpp.o.d"
+  "libess_apps.a"
+  "libess_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

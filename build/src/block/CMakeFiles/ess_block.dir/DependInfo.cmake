@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/block/buffer_cache.cpp" "src/block/CMakeFiles/ess_block.dir/buffer_cache.cpp.o" "gcc" "src/block/CMakeFiles/ess_block.dir/buffer_cache.cpp.o.d"
+  "/root/repo/src/block/readahead.cpp" "src/block/CMakeFiles/ess_block.dir/readahead.cpp.o" "gcc" "src/block/CMakeFiles/ess_block.dir/readahead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/ess_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/ess_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ess_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ess_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ess_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

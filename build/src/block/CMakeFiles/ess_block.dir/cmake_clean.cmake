@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_block.dir/buffer_cache.cpp.o"
+  "CMakeFiles/ess_block.dir/buffer_cache.cpp.o.d"
+  "CMakeFiles/ess_block.dir/readahead.cpp.o"
+  "CMakeFiles/ess_block.dir/readahead.cpp.o.d"
+  "libess_block.a"
+  "libess_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

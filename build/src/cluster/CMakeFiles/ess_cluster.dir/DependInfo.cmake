@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/ess_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/ess_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/ethernet.cpp" "src/cluster/CMakeFiles/ess_cluster.dir/ethernet.cpp.o" "gcc" "src/cluster/CMakeFiles/ess_cluster.dir/ethernet.cpp.o.d"
+  "/root/repo/src/cluster/pious.cpp" "src/cluster/CMakeFiles/ess_cluster.dir/pious.cpp.o" "gcc" "src/cluster/CMakeFiles/ess_cluster.dir/pious.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ess_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/ess_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ess_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ess_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/ess_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/ess_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/ess_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/ess_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ess_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ess_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ess_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ess_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ess_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

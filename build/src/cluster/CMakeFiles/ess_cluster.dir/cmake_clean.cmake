@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/ess_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/ess_cluster.dir/ethernet.cpp.o"
+  "CMakeFiles/ess_cluster.dir/ethernet.cpp.o.d"
+  "CMakeFiles/ess_cluster.dir/pious.cpp.o"
+  "CMakeFiles/ess_cluster.dir/pious.cpp.o.d"
+  "libess_cluster.a"
+  "libess_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_core.dir/study.cpp.o"
+  "CMakeFiles/ess_core.dir/study.cpp.o.d"
+  "libess_core.a"
+  "libess_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

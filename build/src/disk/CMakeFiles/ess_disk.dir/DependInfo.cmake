@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/drive.cpp" "src/disk/CMakeFiles/ess_disk.dir/drive.cpp.o" "gcc" "src/disk/CMakeFiles/ess_disk.dir/drive.cpp.o.d"
+  "/root/repo/src/disk/scheduler.cpp" "src/disk/CMakeFiles/ess_disk.dir/scheduler.cpp.o" "gcc" "src/disk/CMakeFiles/ess_disk.dir/scheduler.cpp.o.d"
+  "/root/repo/src/disk/service_model.cpp" "src/disk/CMakeFiles/ess_disk.dir/service_model.cpp.o" "gcc" "src/disk/CMakeFiles/ess_disk.dir/service_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ess_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ess_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_disk.dir/drive.cpp.o"
+  "CMakeFiles/ess_disk.dir/drive.cpp.o.d"
+  "CMakeFiles/ess_disk.dir/scheduler.cpp.o"
+  "CMakeFiles/ess_disk.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ess_disk.dir/service_model.cpp.o"
+  "CMakeFiles/ess_disk.dir/service_model.cpp.o.d"
+  "libess_disk.a"
+  "libess_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

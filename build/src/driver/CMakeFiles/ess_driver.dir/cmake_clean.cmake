@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_driver.dir/ide_driver.cpp.o"
+  "CMakeFiles/ess_driver.dir/ide_driver.cpp.o.d"
+  "libess_driver.a"
+  "libess_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_fs.dir/ext2lite.cpp.o"
+  "CMakeFiles/ess_fs.dir/ext2lite.cpp.o.d"
+  "libess_fs.a"
+  "libess_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_kernel.dir/daemons.cpp.o"
+  "CMakeFiles/ess_kernel.dir/daemons.cpp.o.d"
+  "CMakeFiles/ess_kernel.dir/node_kernel.cpp.o"
+  "CMakeFiles/ess_kernel.dir/node_kernel.cpp.o.d"
+  "libess_kernel.a"
+  "libess_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mm/frame_pool.cpp" "src/mm/CMakeFiles/ess_mm.dir/frame_pool.cpp.o" "gcc" "src/mm/CMakeFiles/ess_mm.dir/frame_pool.cpp.o.d"
+  "/root/repo/src/mm/swap.cpp" "src/mm/CMakeFiles/ess_mm.dir/swap.cpp.o" "gcc" "src/mm/CMakeFiles/ess_mm.dir/swap.cpp.o.d"
+  "/root/repo/src/mm/vm.cpp" "src/mm/CMakeFiles/ess_mm.dir/vm.cpp.o" "gcc" "src/mm/CMakeFiles/ess_mm.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/block/CMakeFiles/ess_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/ess_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/ess_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ess_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ess_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ess_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

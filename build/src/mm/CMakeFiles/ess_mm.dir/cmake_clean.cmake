@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_mm.dir/frame_pool.cpp.o"
+  "CMakeFiles/ess_mm.dir/frame_pool.cpp.o.d"
+  "CMakeFiles/ess_mm.dir/swap.cpp.o"
+  "CMakeFiles/ess_mm.dir/swap.cpp.o.d"
+  "CMakeFiles/ess_mm.dir/vm.cpp.o"
+  "CMakeFiles/ess_mm.dir/vm.cpp.o.d"
+  "libess_mm.a"
+  "libess_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

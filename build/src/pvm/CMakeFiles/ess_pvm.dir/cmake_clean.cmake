@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_pvm.dir/fabric.cpp.o"
+  "CMakeFiles/ess_pvm.dir/fabric.cpp.o.d"
+  "CMakeFiles/ess_pvm.dir/machine.cpp.o"
+  "CMakeFiles/ess_pvm.dir/machine.cpp.o.d"
+  "CMakeFiles/ess_pvm.dir/parallel_apps.cpp.o"
+  "CMakeFiles/ess_pvm.dir/parallel_apps.cpp.o.d"
+  "libess_pvm.a"
+  "libess_pvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_pvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_replay.dir/replayer.cpp.o"
+  "CMakeFiles/ess_replay.dir/replayer.cpp.o.d"
+  "libess_replay.a"
+  "libess_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

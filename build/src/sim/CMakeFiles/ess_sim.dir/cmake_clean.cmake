@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_sim.dir/engine.cpp.o"
+  "CMakeFiles/ess_sim.dir/engine.cpp.o.d"
+  "libess_sim.a"
+  "libess_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/ess_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/ess_trace.dir/io.cpp.o.d"
+  "/root/repo/src/trace/ring_buffer.cpp" "src/trace/CMakeFiles/ess_trace.dir/ring_buffer.cpp.o" "gcc" "src/trace/CMakeFiles/ess_trace.dir/ring_buffer.cpp.o.d"
+  "/root/repo/src/trace/trace_set.cpp" "src/trace/CMakeFiles/ess_trace.dir/trace_set.cpp.o" "gcc" "src/trace/CMakeFiles/ess_trace.dir/trace_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ess_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

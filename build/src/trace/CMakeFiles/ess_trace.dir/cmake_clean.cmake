@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_trace.dir/io.cpp.o"
+  "CMakeFiles/ess_trace.dir/io.cpp.o.d"
+  "CMakeFiles/ess_trace.dir/ring_buffer.cpp.o"
+  "CMakeFiles/ess_trace.dir/ring_buffer.cpp.o.d"
+  "CMakeFiles/ess_trace.dir/trace_set.cpp.o"
+  "CMakeFiles/ess_trace.dir/trace_set.cpp.o.d"
+  "libess_trace.a"
+  "libess_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

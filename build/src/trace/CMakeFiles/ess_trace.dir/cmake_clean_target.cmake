@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libess_trace.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/ess_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/ess_util.dir/csv.cpp.o"
+  "CMakeFiles/ess_util.dir/csv.cpp.o.d"
+  "CMakeFiles/ess_util.dir/rng.cpp.o"
+  "CMakeFiles/ess_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ess_util.dir/sim_time.cpp.o"
+  "CMakeFiles/ess_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/ess_util.dir/stats.cpp.o"
+  "CMakeFiles/ess_util.dir/stats.cpp.o.d"
+  "libess_util.a"
+  "libess_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/builder.cpp" "src/workload/CMakeFiles/ess_workload.dir/builder.cpp.o" "gcc" "src/workload/CMakeFiles/ess_workload.dir/builder.cpp.o.d"
+  "/root/repo/src/workload/op.cpp" "src/workload/CMakeFiles/ess_workload.dir/op.cpp.o" "gcc" "src/workload/CMakeFiles/ess_workload.dir/op.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/workload/CMakeFiles/ess_workload.dir/synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/ess_workload.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workload/wdl.cpp" "src/workload/CMakeFiles/ess_workload.dir/wdl.cpp.o" "gcc" "src/workload/CMakeFiles/ess_workload.dir/wdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ess_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_workload.dir/builder.cpp.o"
+  "CMakeFiles/ess_workload.dir/builder.cpp.o.d"
+  "CMakeFiles/ess_workload.dir/op.cpp.o"
+  "CMakeFiles/ess_workload.dir/op.cpp.o.d"
+  "CMakeFiles/ess_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/ess_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/ess_workload.dir/wdl.cpp.o"
+  "CMakeFiles/ess_workload.dir/wdl.cpp.o.d"
+  "libess_workload.a"
+  "libess_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

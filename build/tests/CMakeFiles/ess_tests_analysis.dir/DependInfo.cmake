@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/characterize_test.cpp" "tests/CMakeFiles/ess_tests_analysis.dir/analysis/characterize_test.cpp.o" "gcc" "tests/CMakeFiles/ess_tests_analysis.dir/analysis/characterize_test.cpp.o.d"
+  "/root/repo/tests/analysis/patterns_test.cpp" "tests/CMakeFiles/ess_tests_analysis.dir/analysis/patterns_test.cpp.o" "gcc" "tests/CMakeFiles/ess_tests_analysis.dir/analysis/patterns_test.cpp.o.d"
+  "/root/repo/tests/analysis/phases_test.cpp" "tests/CMakeFiles/ess_tests_analysis.dir/analysis/phases_test.cpp.o" "gcc" "tests/CMakeFiles/ess_tests_analysis.dir/analysis/phases_test.cpp.o.d"
+  "/root/repo/tests/analysis/report_test.cpp" "tests/CMakeFiles/ess_tests_analysis.dir/analysis/report_test.cpp.o" "gcc" "tests/CMakeFiles/ess_tests_analysis.dir/analysis/report_test.cpp.o.d"
+  "/root/repo/tests/cluster/cluster_apps_test.cpp" "tests/CMakeFiles/ess_tests_analysis.dir/cluster/cluster_apps_test.cpp.o" "gcc" "tests/CMakeFiles/ess_tests_analysis.dir/cluster/cluster_apps_test.cpp.o.d"
+  "/root/repo/tests/cluster/cluster_test.cpp" "tests/CMakeFiles/ess_tests_analysis.dir/cluster/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/ess_tests_analysis.dir/cluster/cluster_test.cpp.o.d"
+  "/root/repo/tests/cluster/ethernet_test.cpp" "tests/CMakeFiles/ess_tests_analysis.dir/cluster/ethernet_test.cpp.o" "gcc" "tests/CMakeFiles/ess_tests_analysis.dir/cluster/ethernet_test.cpp.o.d"
+  "/root/repo/tests/cluster/pious_test.cpp" "tests/CMakeFiles/ess_tests_analysis.dir/cluster/pious_test.cpp.o" "gcc" "tests/CMakeFiles/ess_tests_analysis.dir/cluster/pious_test.cpp.o.d"
+  "/root/repo/tests/replay/replayer_test.cpp" "tests/CMakeFiles/ess_tests_analysis.dir/replay/replayer_test.cpp.o" "gcc" "tests/CMakeFiles/ess_tests_analysis.dir/replay/replayer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ess_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ess_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvm/CMakeFiles/ess_pvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ess_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/ess_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/ess_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/ess_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/ess_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/block/CMakeFiles/ess_block.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/ess_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/ess_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ess_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ess_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ess_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ess_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ess_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_tests_analysis.dir/analysis/characterize_test.cpp.o"
+  "CMakeFiles/ess_tests_analysis.dir/analysis/characterize_test.cpp.o.d"
+  "CMakeFiles/ess_tests_analysis.dir/analysis/patterns_test.cpp.o"
+  "CMakeFiles/ess_tests_analysis.dir/analysis/patterns_test.cpp.o.d"
+  "CMakeFiles/ess_tests_analysis.dir/analysis/phases_test.cpp.o"
+  "CMakeFiles/ess_tests_analysis.dir/analysis/phases_test.cpp.o.d"
+  "CMakeFiles/ess_tests_analysis.dir/analysis/report_test.cpp.o"
+  "CMakeFiles/ess_tests_analysis.dir/analysis/report_test.cpp.o.d"
+  "CMakeFiles/ess_tests_analysis.dir/cluster/cluster_apps_test.cpp.o"
+  "CMakeFiles/ess_tests_analysis.dir/cluster/cluster_apps_test.cpp.o.d"
+  "CMakeFiles/ess_tests_analysis.dir/cluster/cluster_test.cpp.o"
+  "CMakeFiles/ess_tests_analysis.dir/cluster/cluster_test.cpp.o.d"
+  "CMakeFiles/ess_tests_analysis.dir/cluster/ethernet_test.cpp.o"
+  "CMakeFiles/ess_tests_analysis.dir/cluster/ethernet_test.cpp.o.d"
+  "CMakeFiles/ess_tests_analysis.dir/cluster/pious_test.cpp.o"
+  "CMakeFiles/ess_tests_analysis.dir/cluster/pious_test.cpp.o.d"
+  "CMakeFiles/ess_tests_analysis.dir/replay/replayer_test.cpp.o"
+  "CMakeFiles/ess_tests_analysis.dir/replay/replayer_test.cpp.o.d"
+  "ess_tests_analysis"
+  "ess_tests_analysis.pdb"
+  "ess_tests_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_tests_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

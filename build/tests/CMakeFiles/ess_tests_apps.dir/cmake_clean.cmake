@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_tests_apps.dir/apps/compress_test.cpp.o"
+  "CMakeFiles/ess_tests_apps.dir/apps/compress_test.cpp.o.d"
+  "CMakeFiles/ess_tests_apps.dir/apps/nbody_test.cpp.o"
+  "CMakeFiles/ess_tests_apps.dir/apps/nbody_test.cpp.o.d"
+  "CMakeFiles/ess_tests_apps.dir/apps/ppm_test.cpp.o"
+  "CMakeFiles/ess_tests_apps.dir/apps/ppm_test.cpp.o.d"
+  "CMakeFiles/ess_tests_apps.dir/apps/wavelet_test.cpp.o"
+  "CMakeFiles/ess_tests_apps.dir/apps/wavelet_test.cpp.o.d"
+  "CMakeFiles/ess_tests_apps.dir/workload/builder_test.cpp.o"
+  "CMakeFiles/ess_tests_apps.dir/workload/builder_test.cpp.o.d"
+  "CMakeFiles/ess_tests_apps.dir/workload/synthetic_test.cpp.o"
+  "CMakeFiles/ess_tests_apps.dir/workload/synthetic_test.cpp.o.d"
+  "CMakeFiles/ess_tests_apps.dir/workload/wdl_test.cpp.o"
+  "CMakeFiles/ess_tests_apps.dir/workload/wdl_test.cpp.o.d"
+  "ess_tests_apps"
+  "ess_tests_apps.pdb"
+  "ess_tests_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_tests_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_tests_core.dir/core/custom_node_test.cpp.o"
+  "CMakeFiles/ess_tests_core.dir/core/custom_node_test.cpp.o.d"
+  "CMakeFiles/ess_tests_core.dir/core/paper_shape_test.cpp.o"
+  "CMakeFiles/ess_tests_core.dir/core/paper_shape_test.cpp.o.d"
+  "CMakeFiles/ess_tests_core.dir/core/study_test.cpp.o"
+  "CMakeFiles/ess_tests_core.dir/core/study_test.cpp.o.d"
+  "ess_tests_core"
+  "ess_tests_core.pdb"
+  "ess_tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_tests_io.dir/block/buffer_cache_test.cpp.o"
+  "CMakeFiles/ess_tests_io.dir/block/buffer_cache_test.cpp.o.d"
+  "CMakeFiles/ess_tests_io.dir/block/cache_fuzz_test.cpp.o"
+  "CMakeFiles/ess_tests_io.dir/block/cache_fuzz_test.cpp.o.d"
+  "CMakeFiles/ess_tests_io.dir/block/readahead_test.cpp.o"
+  "CMakeFiles/ess_tests_io.dir/block/readahead_test.cpp.o.d"
+  "CMakeFiles/ess_tests_io.dir/disk/drive_test.cpp.o"
+  "CMakeFiles/ess_tests_io.dir/disk/drive_test.cpp.o.d"
+  "CMakeFiles/ess_tests_io.dir/disk/geometry_test.cpp.o"
+  "CMakeFiles/ess_tests_io.dir/disk/geometry_test.cpp.o.d"
+  "CMakeFiles/ess_tests_io.dir/disk/merge_test.cpp.o"
+  "CMakeFiles/ess_tests_io.dir/disk/merge_test.cpp.o.d"
+  "CMakeFiles/ess_tests_io.dir/disk/scheduler_test.cpp.o"
+  "CMakeFiles/ess_tests_io.dir/disk/scheduler_test.cpp.o.d"
+  "CMakeFiles/ess_tests_io.dir/disk/service_model_test.cpp.o"
+  "CMakeFiles/ess_tests_io.dir/disk/service_model_test.cpp.o.d"
+  "CMakeFiles/ess_tests_io.dir/driver/ide_driver_test.cpp.o"
+  "CMakeFiles/ess_tests_io.dir/driver/ide_driver_test.cpp.o.d"
+  "CMakeFiles/ess_tests_io.dir/trace/io_test.cpp.o"
+  "CMakeFiles/ess_tests_io.dir/trace/io_test.cpp.o.d"
+  "CMakeFiles/ess_tests_io.dir/trace/outstanding_test.cpp.o"
+  "CMakeFiles/ess_tests_io.dir/trace/outstanding_test.cpp.o.d"
+  "CMakeFiles/ess_tests_io.dir/trace/ring_buffer_test.cpp.o"
+  "CMakeFiles/ess_tests_io.dir/trace/ring_buffer_test.cpp.o.d"
+  "CMakeFiles/ess_tests_io.dir/trace/trace_set_test.cpp.o"
+  "CMakeFiles/ess_tests_io.dir/trace/trace_set_test.cpp.o.d"
+  "ess_tests_io"
+  "ess_tests_io.pdb"
+  "ess_tests_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_tests_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_tests_os.dir/fs/directory_test.cpp.o"
+  "CMakeFiles/ess_tests_os.dir/fs/directory_test.cpp.o.d"
+  "CMakeFiles/ess_tests_os.dir/fs/ext2lite_test.cpp.o"
+  "CMakeFiles/ess_tests_os.dir/fs/ext2lite_test.cpp.o.d"
+  "CMakeFiles/ess_tests_os.dir/fs/fsck_fuzz_test.cpp.o"
+  "CMakeFiles/ess_tests_os.dir/fs/fsck_fuzz_test.cpp.o.d"
+  "CMakeFiles/ess_tests_os.dir/fs/packed_inodes_test.cpp.o"
+  "CMakeFiles/ess_tests_os.dir/fs/packed_inodes_test.cpp.o.d"
+  "CMakeFiles/ess_tests_os.dir/kernel/daemons_test.cpp.o"
+  "CMakeFiles/ess_tests_os.dir/kernel/daemons_test.cpp.o.d"
+  "CMakeFiles/ess_tests_os.dir/kernel/node_kernel_test.cpp.o"
+  "CMakeFiles/ess_tests_os.dir/kernel/node_kernel_test.cpp.o.d"
+  "CMakeFiles/ess_tests_os.dir/mm/frame_pool_test.cpp.o"
+  "CMakeFiles/ess_tests_os.dir/mm/frame_pool_test.cpp.o.d"
+  "CMakeFiles/ess_tests_os.dir/mm/swap_test.cpp.o"
+  "CMakeFiles/ess_tests_os.dir/mm/swap_test.cpp.o.d"
+  "CMakeFiles/ess_tests_os.dir/mm/vm_fuzz_test.cpp.o"
+  "CMakeFiles/ess_tests_os.dir/mm/vm_fuzz_test.cpp.o.d"
+  "CMakeFiles/ess_tests_os.dir/mm/vm_test.cpp.o"
+  "CMakeFiles/ess_tests_os.dir/mm/vm_test.cpp.o.d"
+  "ess_tests_os"
+  "ess_tests_os.pdb"
+  "ess_tests_os[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_tests_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

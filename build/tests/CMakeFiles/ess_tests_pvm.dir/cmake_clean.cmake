@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_tests_pvm.dir/pvm/fabric_test.cpp.o"
+  "CMakeFiles/ess_tests_pvm.dir/pvm/fabric_test.cpp.o.d"
+  "CMakeFiles/ess_tests_pvm.dir/pvm/parallel_apps_test.cpp.o"
+  "CMakeFiles/ess_tests_pvm.dir/pvm/parallel_apps_test.cpp.o.d"
+  "CMakeFiles/ess_tests_pvm.dir/pvm/wdl_machine_test.cpp.o"
+  "CMakeFiles/ess_tests_pvm.dir/pvm/wdl_machine_test.cpp.o.d"
+  "ess_tests_pvm"
+  "ess_tests_pvm.pdb"
+  "ess_tests_pvm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_tests_pvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ess_tests_util.dir/sim/engine_test.cpp.o"
+  "CMakeFiles/ess_tests_util.dir/sim/engine_test.cpp.o.d"
+  "CMakeFiles/ess_tests_util.dir/util/ascii_plot_test.cpp.o"
+  "CMakeFiles/ess_tests_util.dir/util/ascii_plot_test.cpp.o.d"
+  "CMakeFiles/ess_tests_util.dir/util/csv_test.cpp.o"
+  "CMakeFiles/ess_tests_util.dir/util/csv_test.cpp.o.d"
+  "CMakeFiles/ess_tests_util.dir/util/rng_test.cpp.o"
+  "CMakeFiles/ess_tests_util.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/ess_tests_util.dir/util/stats_test.cpp.o"
+  "CMakeFiles/ess_tests_util.dir/util/stats_test.cpp.o.d"
+  "ess_tests_util"
+  "ess_tests_util.pdb"
+  "ess_tests_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ess_tests_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ess_tests_util[1]_include.cmake")
+include("/root/repo/build/tests/ess_tests_io[1]_include.cmake")
+include("/root/repo/build/tests/ess_tests_os[1]_include.cmake")
+include("/root/repo/build/tests/ess_tests_apps[1]_include.cmake")
+include("/root/repo/build/tests/ess_tests_analysis[1]_include.cmake")
+include("/root/repo/build/tests/ess_tests_pvm[1]_include.cmake")
+include("/root/repo/build/tests/ess_tests_core[1]_include.cmake")
