@@ -21,8 +21,18 @@ inline bool fast_mode() {
   return v != nullptr && v[0] == '1';
 }
 
+/// ESS_PROGRESS=1 streams live characterization snapshots to stderr every
+/// 60 s of sim-time while an experiment runs (see telemetry/snapshot.hpp).
+inline bool progress_mode() {
+  const char* v = std::getenv("ESS_PROGRESS");
+  return v != nullptr && v[0] == '1';
+}
+
 inline core::StudyConfig study_config() {
   core::StudyConfig cfg;
+  if (progress_mode()) {
+    cfg.progress_period = sec(60);
+  }
   if (fast_mode()) {
     cfg.baseline_duration = sec(300);
     cfg.ppm.steps = 12;

@@ -1,10 +1,54 @@
 #include "core/study.hpp"
 
+#include <cstdio>
+#include <memory>
 #include <stdexcept>
 
 #include "kernel/node_kernel.hpp"
+#include "telemetry/consumers.hpp"
+#include "telemetry/snapshot.hpp"
 
 namespace ess::core {
+namespace {
+
+/// Per-run live tap: fans the driver's record stream out to the caller's
+/// sink and, when progress_period is set, to an incremental summary whose
+/// snapshots print to stderr — visibility into the 2000 s baseline and
+/// ~700 s combined runs while they are in flight.
+class LiveTap {
+ public:
+  LiveTap(const StudyConfig& cfg, const std::string& name) {
+    if (cfg.live_sink != nullptr) fan_.add(cfg.live_sink);
+    if (cfg.progress_period > 0) {
+      summary_ = std::make_unique<telemetry::StreamSummary>();
+      emitter_ = std::make_unique<telemetry::SnapshotEmitter>(
+          *summary_, cfg.progress_period,
+          [name](const telemetry::Snapshot& s) {
+            std::fprintf(stderr, "[%s] %s\n", name.c_str(),
+                         telemetry::render_progress_line(s).c_str());
+          });
+      fan_.add(summary_.get());
+      fan_.add(emitter_.get());  // after the summary: snapshots see the
+                                 // record that triggered them
+    }
+    active_ = cfg.live_sink != nullptr || cfg.progress_period > 0;
+  }
+
+  void attach(kernel::NodeKernel& node) {
+    if (active_) node.set_live_sink(&fan_);
+  }
+  void finish(SimTime duration) {
+    if (active_) fan_.on_finish(duration);
+  }
+
+ private:
+  telemetry::FanoutSink fan_;
+  std::unique_ptr<telemetry::StreamSummary> summary_;
+  std::unique_ptr<telemetry::SnapshotEmitter> emitter_;
+  bool active_ = false;
+};
+
+}  // namespace
 
 std::string to_string(AppKind k) {
   switch (k) {
@@ -48,6 +92,9 @@ const workload::OpTrace& Study::trace_for(AppKind kind) {
 
 RunResult Study::run_baseline() {
   kernel::NodeKernel node(cfg_.node);
+  LiveTap tap(cfg_, "Baseline");
+  tap.attach(node);
+  node.set_drain_sink(cfg_.drain_sink);
   node.run_for(cfg_.settle_time);
   const SimTime t0 = node.now();
   node.ioctl_trace(driver::TraceLevel::kStandard);
@@ -55,6 +102,7 @@ RunResult Study::run_baseline() {
   node.ioctl_trace(driver::TraceLevel::kOff);
   RunResult res;
   res.trace = node.collect_trace("Baseline");
+  tap.finish(node.now());
   res.trace.rebase(t0);
   res.trace.set_duration(cfg_.baseline_duration);
   res.run_time = cfg_.baseline_duration;
@@ -81,6 +129,9 @@ RunResult Study::run_custom(const std::string& name,
                             SimTime duration,
                             std::optional<kernel::KernelConfig> node_override) {
   kernel::NodeKernel node(node_override ? *node_override : cfg_.node);
+  LiveTap tap(cfg_, name);
+  tap.attach(node);
+  node.set_drain_sink(cfg_.drain_sink);
 
   // Stage every declared input (and the program images) before tracing, as
   // the experimenters did: instrumentation is switched on by ioctl once
@@ -118,6 +169,7 @@ RunResult Study::run_custom(const std::string& name,
   }
   node.ioctl_trace(driver::TraceLevel::kOff);
   res.trace = node.collect_trace(name);
+  tap.finish(node.now());
   res.trace.rebase(t0);
   res.run_time = res.trace.duration();
   return res;

@@ -20,6 +20,7 @@
 #include "apps/ppm/ppm_app.hpp"
 #include "apps/wavelet/wavelet_app.hpp"
 #include "kernel/config.hpp"
+#include "telemetry/sink.hpp"
 #include "trace/trace_set.hpp"
 #include "workload/op.hpp"
 
@@ -39,6 +40,18 @@ struct StudyConfig {
   std::uint32_t combined_coalesce_blocks = 32;
   std::uint32_t combined_readahead_blocks = 32;
   std::uint64_t seed = 0x1996;
+
+  // Streaming telemetry taps, applied to every run (neither is owned).
+  // `live_sink` sees each record at driver emission time; `drain_sink` sees
+  // records as the trace daemon drains the procfs ring (attach a
+  // telemetry::EsstFileSink there to capture an indexed ESST trace file).
+  // Timestamps are raw node time (tracing turns on at ~settle_time); the
+  // returned RunResult::trace is rebased to tracing-on as before.
+  telemetry::Sink* live_sink = nullptr;
+  telemetry::Sink* drain_sink = nullptr;
+  // >0: print an incremental characterization line to stderr every
+  // `progress_period` of sim-time while a run is in flight.
+  SimTime progress_period = 0;
 
   apps::ppm::PpmConfig ppm;
   apps::wavelet::WaveletConfig wavelet;

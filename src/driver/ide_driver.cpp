@@ -19,8 +19,8 @@ void IdeDriver::submit(std::uint64_t sector, std::uint32_t sector_count,
   req.sector = sector;
   req.sector_count = sector_count;
   req.dir = dir;
-  const bool verbose =
-      level_ == TraceLevel::kVerbose && trace_buf_ != nullptr;
+  const bool verbose = level_ == TraceLevel::kVerbose &&
+                       (trace_buf_ != nullptr || sink_ != nullptr);
   if (done || verbose) {
     drive_.submit(req, [this, verbose,
                         done = std::move(done)](const disk::Request& r) {
@@ -34,7 +34,10 @@ void IdeDriver::submit(std::uint64_t sector, std::uint32_t sector_count,
 
 void IdeDriver::emit(std::uint64_t sector, std::uint32_t sector_count,
                      disk::Dir dir, std::size_t outstanding) {
-  if (level_ == TraceLevel::kOff || trace_buf_ == nullptr) return;
+  if (level_ == TraceLevel::kOff ||
+      (trace_buf_ == nullptr && sink_ == nullptr)) {
+    return;
+  }
   trace::Record r;
   // Timestamp is taken inside the driver handler, before queueing delay.
   r.timestamp = drive_.now();
@@ -43,7 +46,8 @@ void IdeDriver::emit(std::uint64_t sector, std::uint32_t sector_count,
   r.is_write = dir == disk::Dir::kWrite ? 1 : 0;
   r.outstanding =
       static_cast<std::uint16_t>(std::min<std::size_t>(outstanding, 0xffff));
-  trace_buf_->push(r);
+  if (trace_buf_ != nullptr) trace_buf_->push(r);
+  if (sink_ != nullptr) sink_->on_record(r);
   ++stats_.trace_records;
 }
 

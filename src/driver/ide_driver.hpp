@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "disk/drive.hpp"
+#include "telemetry/sink.hpp"
 #include "trace/ring_buffer.hpp"
 
 namespace ess::driver {
@@ -46,6 +47,13 @@ class IdeDriver {
   void ioctl_set_trace_level(TraceLevel level) { level_ = level; }
   TraceLevel trace_level() const { return level_; }
 
+  /// Live telemetry tap: every record emitted while tracing is on is also
+  /// published here, at emission time — streaming consumers see the run in
+  /// flight instead of waiting for the ring buffer to be drained and
+  /// collected. May be null (no live consumers attached).
+  void set_sink(telemetry::Sink* sink) { sink_ = sink; }
+  telemetry::Sink* sink() const { return sink_; }
+
   const DriverStats& stats() const { return stats_; }
   disk::Drive& drive() { return drive_; }
 
@@ -55,6 +63,7 @@ class IdeDriver {
 
   disk::Drive& drive_;
   trace::RingBuffer* trace_buf_;
+  telemetry::Sink* sink_ = nullptr;
   TraceLevel level_ = TraceLevel::kStandard;
   DriverStats stats_;
 };

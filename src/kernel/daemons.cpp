@@ -88,6 +88,9 @@ void NodeKernel::daemon_trace_drain() {
   // logging is a real part of the measured write load (the paper says so).
   fs_->append(trace_ino_,
               batch.size() * std::uint64_t{cfg_.trace_record_bytes});
+  if (drain_sink_ != nullptr) {
+    for (const auto& r : batch) drain_sink_->on_record(r);
+  }
   capture_.insert(capture_.end(), batch.begin(), batch.end());
 }
 

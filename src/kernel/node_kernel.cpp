@@ -99,6 +99,10 @@ void NodeKernel::ioctl_trace(driver::TraceLevel level) {
   driver_->ioctl_set_trace_level(level);
 }
 
+void NodeKernel::set_live_sink(telemetry::Sink* sink) {
+  driver_->set_sink(sink);
+}
+
 void NodeKernel::warm_file(const std::string& path, double fraction) {
   const auto ino = fs_->lookup(path);
   if (!ino) throw std::runtime_error("warm_file: no such file: " + path);
@@ -188,6 +192,9 @@ bool NodeKernel::run_until_done(SimTime max_time) {
 trace::TraceSet NodeKernel::collect_trace(const std::string& experiment) {
   daemon_trace_drain();  // final drain
   while (ring_.size() > 0) daemon_trace_drain();
+  // The capture is complete: let the drain-side consumer (typically an ESST
+  // file writer) flush its open chunk and write its index.
+  if (drain_sink_ != nullptr) drain_sink_->on_finish(engine_.now());
   trace::TraceSet ts(experiment, node_id_);
   ts.add_all(capture_);
   ts.set_duration(engine_.now());

@@ -53,6 +53,18 @@ class NodeKernel {
   /// The paper's ioctl: toggle driver instrumentation without a reboot.
   void ioctl_trace(driver::TraceLevel level);
 
+  // ---- streaming telemetry taps (neither is owned; both may be null) ----
+
+  /// Publishes every record at driver emission time — live consumers see
+  /// the run in flight (progress snapshots, streaming characterization).
+  void set_live_sink(telemetry::Sink* sink);
+
+  /// Publishes records as the trace-drain daemon moves them out of the
+  /// procfs ring — the modelled trace file. Attach a telemetry::EsstFileSink
+  /// and the drain writes an indexed ESST trace to the host disk while the
+  /// simulated drain I/O still hits the simulated disk, as in the paper.
+  void set_drain_sink(telemetry::Sink* sink) { drain_sink_ = sink; }
+
   // ---- running ----
 
   /// Start a process executing `trace`. Its program image is staged at
@@ -184,6 +196,8 @@ class NodeKernel {
 
   // Captured trace (contents of the trace file).
   std::vector<trace::Record> capture_;
+
+  telemetry::Sink* drain_sink_ = nullptr;
 
   MessageFabric* fabric_ = nullptr;
 };

@@ -18,15 +18,29 @@ EventId Engine::schedule_after(SimTime delay, Callback cb) {
   return schedule_at(now_ + delay, std::move(cb));
 }
 
+namespace {
+
+// Re-arms itself while the user callback returns true. Each re-arm copies
+// this object (sharing the callback), so ownership follows the pending
+// event — no self-referencing closure to keep alive (or leak).
+struct PeriodicTask {
+  Engine* engine;
+  SimTime period;
+  std::shared_ptr<std::function<bool()>> cb;
+
+  void operator()() const {
+    if ((*cb)()) engine->schedule_after(period, *this);
+  }
+};
+
+}  // namespace
+
 void Engine::schedule_periodic(SimTime first_delay, SimTime period,
                                std::function<bool()> cb) {
-  // The wrapper owns the user callback and re-arms itself while it returns
-  // true. A shared_ptr breaks the self-reference chicken-and-egg.
-  auto wrapper = std::make_shared<std::function<void()>>();
-  *wrapper = [this, period, cb = std::move(cb), wrapper]() {
-    if (cb()) schedule_after(period, *wrapper);
-  };
-  schedule_after(first_delay, *wrapper);
+  schedule_after(
+      first_delay,
+      PeriodicTask{this, period,
+                   std::make_shared<std::function<bool()>>(std::move(cb))});
 }
 
 bool Engine::cancel(EventId id) {

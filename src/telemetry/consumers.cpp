@@ -1,0 +1,175 @@
+#include "telemetry/consumers.hpp"
+
+#include <algorithm>
+
+namespace ess::telemetry {
+
+double SizeHistogramConsumer::fraction_at_least(std::uint32_t bytes) const {
+  if (hist_.total() == 0) return 0.0;
+  std::uint64_t n = 0;
+  for (const auto& [size, count] : hist_.cells()) {
+    if (size >= static_cast<std::int64_t>(bytes)) n += count;
+  }
+  return static_cast<double>(n) / static_cast<double>(hist_.total());
+}
+
+double RwMixConsumer::read_pct() const {
+  const auto t = total();
+  return t > 0 ? 100.0 * static_cast<double>(reads_) / static_cast<double>(t)
+               : 0.0;
+}
+
+double RwMixConsumer::write_pct() const {
+  return total() > 0 ? 100.0 - read_pct() : 0.0;
+}
+
+double RwMixConsumer::requests_per_sec() const {
+  const double dur = to_seconds(duration_);
+  return dur > 0 ? static_cast<double>(total()) / dur : 0.0;
+}
+
+void SlidingRateConsumer::on_record(const trace::Record& r) {
+  recent_.push_back(r.timestamp);
+  const SimTime horizon =
+      r.timestamp > window_ ? r.timestamp - window_ : SimTime{0};
+  while (!recent_.empty() && recent_.front() < horizon) recent_.pop_front();
+}
+
+double SlidingRateConsumer::rate() const {
+  if (recent_.empty() || window_ == 0) return 0.0;
+  return static_cast<double>(recent_.size()) / to_seconds(window_);
+}
+
+void WindowRateConsumer::on_record(const trace::Record& r) {
+  if (window_ == 0) return;
+  const std::size_t w = static_cast<std::size_t>(r.timestamp / window_);
+  if (w >= counts_.size()) counts_.resize(w + 1, 0);
+  ++counts_[w];
+}
+
+void WindowRateConsumer::on_finish(SimTime duration) {
+  series_.clear();
+  if (duration == 0 || window_ == 0) return;
+  const std::size_t n =
+      static_cast<std::size_t>((duration + window_ - 1) / window_);
+  series_.assign(n, 0.0);
+  for (std::size_t w = 0; w < counts_.size(); ++w) {
+    // Records past the nominal duration clamp into the last window, the
+    // same as analysis::rate_over_time.
+    series_[std::min(w, n - 1)] += static_cast<double>(counts_[w]);
+  }
+  const double wsec = to_seconds(window_);
+  for (auto& v : series_) v /= wsec;
+}
+
+std::vector<SpatialBandsConsumer::Band> SpatialBandsConsumer::bands() const {
+  std::vector<Band> out;
+  out.reserve(bands_.size());
+  const auto total = static_cast<double>(total_);
+  for (const auto& [start, n] : bands_) {
+    out.push_back(Band{start, n,
+                       total > 0 ? 100.0 * static_cast<double>(n) / total
+                                 : 0.0});
+  }
+  return out;
+}
+
+TopKSectorsConsumer::TopKSectorsConsumer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  entries_.reserve(std::min<std::size_t>(capacity_, 1 << 16));
+}
+
+void TopKSectorsConsumer::on_record(const trace::Record& r) {
+  const std::uint64_t sector = r.sector;
+  if (const auto it = where_.find(sector); it != where_.end()) {
+    ++entries_[it->second].count;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    where_.emplace(sector, entries_.size());
+    entries_.push_back(Entry{sector, 1, 0, 0.0});
+    return;
+  }
+  // Replace the minimum counter (Space-Saving). A linear scan per eviction
+  // is fine at this study's scale: evictions only happen once the distinct
+  // population exceeds the (generous) capacity.
+  exact_ = false;
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].count < entries_[victim].count) victim = i;
+  }
+  where_.erase(entries_[victim].sector);
+  const std::uint64_t floor = entries_[victim].count;
+  entries_[victim] = Entry{sector, floor + 1, floor, 0.0};
+  where_.emplace(sector, victim);
+}
+
+std::vector<TopKSectorsConsumer::Entry> TopKSectorsConsumer::top(
+    std::size_t k) const {
+  std::vector<Entry> out = entries_;
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.sector < b.sector;
+  });
+  if (out.size() > k) out.resize(k);
+  const double dur = to_seconds(duration_);
+  for (auto& e : out) {
+    e.per_sec = dur > 0 ? static_cast<double>(e.count) / dur : 0.0;
+  }
+  return out;
+}
+
+StreamSummary::StreamSummary(const Options& opts)
+    : spatial_(opts.band_sectors),
+      hot_(opts.topk_capacity),
+      sliding_(opts.sliding_window) {}
+
+void StreamSummary::on_record(const trace::Record& r) {
+  sizes_.on_record(r);
+  rw_.on_record(r);
+  spatial_.on_record(r);
+  hot_.on_record(r);
+  sliding_.on_record(r);
+  last_ts_ = std::max(last_ts_, r.timestamp);
+}
+
+void StreamSummary::on_finish(SimTime duration) {
+  duration_ = duration > 0 ? duration : last_ts_;
+  sizes_.on_finish(duration_);
+  rw_.on_finish(duration_);
+  spatial_.on_finish(duration_);
+  hot_.on_finish(duration_);
+  sliding_.on_finish(duration_);
+  finished_ = true;
+}
+
+StreamSummary::Result StreamSummary::result(
+    const std::string& experiment) const {
+  Result res;
+  res.experiment = experiment;
+  res.records = records();
+  res.duration_sec = to_seconds(finished_ ? duration_ : last_ts_);
+  res.reads = rw_.reads();
+  res.writes = rw_.writes();
+  res.read_pct = rw_.read_pct();
+  res.write_pct = rw_.write_pct();
+  res.requests_per_sec =
+      res.duration_sec > 0
+          ? static_cast<double>(res.records) / res.duration_sec
+          : 0.0;
+  res.max_request_bytes = sizes_.max_request_bytes();
+  for (const auto& [size, count] : sizes_.histogram().cells()) {
+    res.size_pct[size] = res.records > 0
+                             ? 100.0 * static_cast<double>(count) /
+                                   static_cast<double>(res.records)
+                             : 0.0;
+  }
+  for (const auto& b : spatial_.bands()) {
+    res.band_pct[b.band_start_sector] = b.pct;
+  }
+  res.hot = hot_.top(10);
+  res.hot_exact = hot_.exact();
+  return res;
+}
+
+}  // namespace ess::telemetry

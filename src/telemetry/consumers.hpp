@@ -1,0 +1,230 @@
+// Incremental characterization consumers.
+//
+// Each consumer is a Sink holding O(state) memory, never the trace itself,
+// so the same code characterizes a finished TraceSet, an ESST file chunk by
+// chunk, or a run still in flight. Offline, their outputs equal the batch
+// analysis::characterize results on the same records (tested): the size
+// histogram, R/W mix, spatial bands and hot-sector ranking are exact; the
+// top-K sketch degrades gracefully (with bounded, reported error) only if
+// the number of distinct sectors exceeds its capacity.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "telemetry/sink.hpp"
+#include "util/stats.hpp"
+
+namespace ess::telemetry {
+
+/// Request-size histogram (exact; sizes take a handful of distinct values).
+class SizeHistogramConsumer final : public Sink {
+ public:
+  void on_record(const trace::Record& r) override {
+    hist_.add(static_cast<std::int64_t>(r.size_bytes));
+    max_bytes_ = std::max(max_bytes_, r.size_bytes);
+  }
+
+  const Histogram& histogram() const { return hist_; }
+  std::uint32_t max_request_bytes() const { return max_bytes_; }
+  double fraction(std::uint32_t bytes) const {
+    return hist_.fraction(static_cast<std::int64_t>(bytes));
+  }
+  double fraction_at_least(std::uint32_t bytes) const;
+
+ private:
+  Histogram hist_;
+  std::uint32_t max_bytes_ = 0;
+};
+
+/// Read/write mix and overall request rate (Table 1's row).
+class RwMixConsumer final : public Sink {
+ public:
+  void on_record(const trace::Record& r) override {
+    if (r.is_write) {
+      ++writes_;
+    } else {
+      ++reads_;
+    }
+  }
+  void on_finish(SimTime duration) override { duration_ = duration; }
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t total() const { return reads_ + writes_; }
+  double read_pct() const;
+  double write_pct() const;
+  /// Over the full capture; valid after on_finish.
+  double requests_per_sec() const;
+
+ private:
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  SimTime duration_ = 0;
+};
+
+/// Requests per second over a sliding window ending at the newest record —
+/// the "current rate" of a run in flight. Memory is bounded by the records
+/// inside one window.
+class SlidingRateConsumer final : public Sink {
+ public:
+  explicit SlidingRateConsumer(SimTime window = sec(10)) : window_(window) {}
+
+  void on_record(const trace::Record& r) override;
+
+  /// Rate over the window ending at the latest record seen.
+  double rate() const;
+  SimTime window() const { return window_; }
+
+ private:
+  SimTime window_;
+  std::deque<SimTime> recent_;
+};
+
+/// Fixed-window request-rate series; finalize() reproduces
+/// analysis::rate_over_time (records past `duration` clamp into the last
+/// window, exactly as the batch code does).
+class WindowRateConsumer final : public Sink {
+ public:
+  explicit WindowRateConsumer(SimTime window = sec(10)) : window_(window) {}
+
+  void on_record(const trace::Record& r) override;
+  void on_finish(SimTime duration) override;
+
+  /// Valid after on_finish; empty when duration or window is 0.
+  const std::vector<double>& series() const { return series_; }
+
+ private:
+  SimTime window_;
+  std::vector<std::uint64_t> counts_;  // by true window index
+  std::vector<double> series_;
+};
+
+/// Spatial locality per band of `band_sectors` sectors (Fig. 7; exact).
+class SpatialBandsConsumer final : public Sink {
+ public:
+  explicit SpatialBandsConsumer(std::uint64_t band_sectors = 100'000)
+      : band_sectors_(band_sectors) {}
+
+  void on_record(const trace::Record& r) override {
+    ++bands_[r.sector / band_sectors_ * band_sectors_];
+    ++total_;
+  }
+
+  struct Band {
+    std::uint64_t band_start_sector = 0;
+    std::uint64_t requests = 0;
+    double pct = 0;
+  };
+  /// Ascending by band start, percentages of the records seen so far —
+  /// field-for-field what analysis::spatial_locality returns.
+  std::vector<Band> bands() const;
+  std::uint64_t band_sectors() const { return band_sectors_; }
+
+ private:
+  std::uint64_t band_sectors_;
+  std::map<std::uint64_t, std::uint64_t> bands_;
+  std::uint64_t total_ = 0;
+};
+
+/// Streaming hot-sector top-K: the Space-Saving sketch (Metwally, Agrawal &
+/// El Abbadi, 2005). Keeps `capacity` counters; when a new sector arrives
+/// at a full table it replaces the minimum counter and inherits its count
+/// as the overestimation bound. While the distinct-sector population fits
+/// in `capacity` no replacement ever happens and every count is exact —
+/// sized for this study's traces by default, so the streamed hot-spot
+/// ranking equals the batch analysis::hot_spots ranking.
+class TopKSectorsConsumer final : public Sink {
+ public:
+  explicit TopKSectorsConsumer(std::size_t capacity = 65'536);
+
+  void on_record(const trace::Record& r) override;
+  void on_finish(SimTime duration) override { duration_ = duration; }
+
+  struct Entry {
+    std::uint64_t sector = 0;
+    std::uint64_t count = 0;  // upper bound; exact when error == 0
+    std::uint64_t error = 0;  // max overcount inherited at replacement
+    double per_sec = 0;       // count / capture duration (after on_finish)
+  };
+
+  /// Top `k` by (count desc, sector asc) — analysis::hot_spots order.
+  std::vector<Entry> top(std::size_t k) const;
+
+  /// True while no counter was ever evicted (counts are exact frequencies).
+  bool exact() const { return exact_; }
+  std::size_t distinct_tracked() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, std::size_t> where_;  // sector -> slot
+  std::vector<Entry> entries_;
+  bool exact_ = true;
+  SimTime duration_ = 0;
+};
+
+/// The standard consumer bundle: everything `esstrace stats` prints, the
+/// snapshot emitter reads, and `esstrace diff` compares.
+class StreamSummary final : public Sink {
+ public:
+  struct Options {
+    std::uint64_t band_sectors = 100'000;
+    std::size_t topk_capacity = 65'536;
+    SimTime sliding_window = sec(10);
+  };
+
+  StreamSummary() : StreamSummary(Options{}) {}
+  explicit StreamSummary(const Options& opts);
+
+  void on_record(const trace::Record& r) override;
+  void on_finish(SimTime duration) override;
+
+  const SizeHistogramConsumer& sizes() const { return sizes_; }
+  const RwMixConsumer& rw() const { return rw_; }
+  const SpatialBandsConsumer& spatial() const { return spatial_; }
+  const TopKSectorsConsumer& hot() const { return hot_; }
+  const SlidingRateConsumer& sliding_rate() const { return sliding_; }
+
+  std::uint64_t records() const { return rw_.total(); }
+  SimTime last_timestamp() const { return last_ts_; }
+  bool finished() const { return finished_; }
+  SimTime duration() const { return duration_; }
+
+  /// The comparable characterization (esstrace stats/diff payload).
+  struct Result {
+    std::string experiment;
+    std::uint64_t records = 0;
+    double duration_sec = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    double read_pct = 0;
+    double write_pct = 0;
+    double requests_per_sec = 0;
+    std::uint32_t max_request_bytes = 0;
+    /// size_bytes -> percentage of requests.
+    std::map<std::int64_t, double> size_pct;
+    /// band start sector -> percentage of requests.
+    std::map<std::uint64_t, double> band_pct;
+    std::vector<TopKSectorsConsumer::Entry> hot;  // top 10
+    bool hot_exact = true;
+  };
+  Result result(const std::string& experiment = {}) const;
+
+ private:
+  SizeHistogramConsumer sizes_;
+  RwMixConsumer rw_;
+  SpatialBandsConsumer spatial_;
+  TopKSectorsConsumer hot_;
+  SlidingRateConsumer sliding_;
+  SimTime last_ts_ = 0;
+  SimTime duration_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ess::telemetry

@@ -1,0 +1,136 @@
+#include "telemetry/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace ess::telemetry {
+namespace {
+
+void add_scalar(DiffResult& out, const std::string& metric, double a,
+                double b, double rel_tol) {
+  DiffEntry e;
+  e.metric = metric;
+  e.a = a;
+  e.b = b;
+  e.delta = std::fabs(a - b);
+  e.limit = rel_tol * std::max(std::fabs(a), std::fabs(b));
+  e.ok = e.delta <= e.limit || (a == 0 && b == 0);
+  out.entries.push_back(e);
+}
+
+void add_pct(DiffResult& out, const std::string& metric, double a, double b,
+             double pct_tol) {
+  DiffEntry e;
+  e.metric = metric;
+  e.a = a;
+  e.b = b;
+  e.delta = std::fabs(a - b);
+  e.limit = pct_tol;
+  e.ok = e.delta <= e.limit;
+  out.entries.push_back(e);
+}
+
+template <typename Map>
+std::set<typename Map::key_type> key_union(const Map& a, const Map& b) {
+  std::set<typename Map::key_type> keys;
+  for (const auto& [k, v] : a) keys.insert(k);
+  for (const auto& [k, v] : b) keys.insert(k);
+  return keys;
+}
+
+double at_or_zero(const std::map<std::int64_t, double>& m, std::int64_t k) {
+  const auto it = m.find(k);
+  return it == m.end() ? 0.0 : it->second;
+}
+double at_or_zero(const std::map<std::uint64_t, double>& m, std::uint64_t k) {
+  const auto it = m.find(k);
+  return it == m.end() ? 0.0 : it->second;
+}
+
+}  // namespace
+
+DiffResult diff_summaries(const StreamSummary::Result& a,
+                          const StreamSummary::Result& b,
+                          const DiffTolerance& tol) {
+  DiffResult out;
+
+  add_scalar(out, "records", static_cast<double>(a.records),
+             static_cast<double>(b.records), tol.scalar_rel);
+  add_scalar(out, "duration_sec", a.duration_sec, b.duration_sec,
+             tol.scalar_rel);
+  add_scalar(out, "requests_per_sec", a.requests_per_sec, b.requests_per_sec,
+             tol.scalar_rel);
+  add_scalar(out, "max_request_bytes",
+             static_cast<double>(a.max_request_bytes),
+             static_cast<double>(b.max_request_bytes), tol.scalar_rel);
+  add_pct(out, "read_pct", a.read_pct, b.read_pct, tol.pct_points);
+  add_pct(out, "write_pct", a.write_pct, b.write_pct, tol.pct_points);
+
+  for (const auto size : key_union(a.size_pct, b.size_pct)) {
+    char name[48];
+    std::snprintf(name, sizeof name, "size_pct[%lldB]",
+                  static_cast<long long>(size));
+    add_pct(out, name, at_or_zero(a.size_pct, size),
+            at_or_zero(b.size_pct, size), tol.pct_points);
+  }
+  for (const auto band : key_union(a.band_pct, b.band_pct)) {
+    char name[48];
+    std::snprintf(name, sizeof name, "band_pct[%llu]",
+                  static_cast<unsigned long long>(band));
+    add_pct(out, name, at_or_zero(a.band_pct, band),
+            at_or_zero(b.band_pct, band), tol.pct_points);
+  }
+
+  if (tol.topk > 0) {
+    std::set<std::uint64_t> ha, hb;
+    for (std::size_t i = 0; i < std::min(tol.topk, a.hot.size()); ++i) {
+      ha.insert(a.hot[i].sector);
+    }
+    for (std::size_t i = 0; i < std::min(tol.topk, b.hot.size()); ++i) {
+      hb.insert(b.hot[i].sector);
+    }
+    std::size_t shared = 0;
+    for (const auto s : ha) shared += hb.count(s);
+    const std::size_t denom = std::max(ha.size(), hb.size());
+    DiffEntry e;
+    e.metric = "hot_top" + std::to_string(tol.topk) + "_overlap";
+    e.a = denom > 0 ? static_cast<double>(shared) /
+                          static_cast<double>(denom)
+                    : 1.0;
+    e.b = 1.0;
+    e.delta = 1.0 - e.a;
+    e.limit = 1.0 - tol.topk_min_overlap;
+    e.ok = e.a >= tol.topk_min_overlap || denom == 0;
+    out.entries.push_back(e);
+  }
+
+  for (const auto& e : out.entries) {
+    if (!e.ok) ++out.failed;
+  }
+  out.ok = out.failed == 0;
+  return out;
+}
+
+std::string render_diff(const DiffResult& d) {
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof line, "  %-28s %14s %14s %10s %10s\n", "metric",
+                "a", "b", "delta", "limit");
+  os << line;
+  for (const auto& e : d.entries) {
+    std::snprintf(line, sizeof line,
+                  "%s %-28s %14.4f %14.4f %10.4f %10.4f\n",
+                  e.ok ? "  " : "!!", e.metric.c_str(), e.a, e.b, e.delta,
+                  e.limit);
+    os << line;
+  }
+  os << (d.ok ? "OK: characterizations match within tolerance\n"
+              : "FAIL: " + std::to_string(d.failed) +
+                    " metric(s) out of tolerance\n");
+  return os.str();
+}
+
+}  // namespace ess::telemetry

@@ -1,0 +1,54 @@
+// Characterization diff: compare two traces' streamed summaries under
+// tolerances.
+//
+// This is the seed of a trace-based regression gate: capture a golden ESST
+// trace once, re-run the experiment in CI, and `esstrace diff golden.esst
+// new.esst` fails the build when the I/O characterization drifts — the R/W
+// mix moves by more than a couple of points, a request-size class appears
+// or vanishes, the spatial distribution shifts bands, or the hot-sector set
+// changes. Deterministic simulation makes the default tolerances tight.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/consumers.hpp"
+
+namespace ess::telemetry {
+
+struct DiffTolerance {
+  /// Percentage metrics (R/W mix, per-size-class %, per-band %): absolute
+  /// difference allowed, in percentage points.
+  double pct_points = 2.0;
+  /// Scalar metrics (record count, req/s, duration, max request size):
+  /// relative difference allowed.
+  double scalar_rel = 0.05;
+  /// Hot-sector check: the top `topk` sets must share at least
+  /// `topk_min_overlap` of their members.
+  std::size_t topk = 5;
+  double topk_min_overlap = 0.6;
+};
+
+struct DiffEntry {
+  std::string metric;
+  double a = 0;
+  double b = 0;
+  double delta = 0;  // |a - b|, in the metric's own unit
+  double limit = 0;  // allowed delta
+  bool ok = true;
+};
+
+struct DiffResult {
+  std::vector<DiffEntry> entries;
+  bool ok = true;          // every entry within tolerance
+  std::size_t failed = 0;  // entries out of tolerance
+};
+
+DiffResult diff_summaries(const StreamSummary::Result& a,
+                          const StreamSummary::Result& b,
+                          const DiffTolerance& tol = {});
+
+/// Human-readable table; failing rows are marked "!!".
+std::string render_diff(const DiffResult& d);
+
+}  // namespace ess::telemetry

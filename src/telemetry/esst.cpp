@@ -1,0 +1,536 @@
+#include "telemetry/esst.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace ess::telemetry {
+namespace {
+
+constexpr char kMagic[8] = {'E', 'S', 'S', 'T', '0', '0', '0', '1'};
+constexpr char kIndexMagic[8] = {'E', 'S', 'S', 'T', 'I', 'D', 'X', '1'};
+constexpr std::uint32_t kChunkMagic = 0x4b4e4843;  // "CHNK"
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 128;
+constexpr std::size_t kNameBytes = 72;
+constexpr std::size_t kChunkHeaderBytes = 8;   // magic + payload size
+constexpr std::size_t kChunkFooterBytes = 28;  // count, ts x2, sector x2, crc
+constexpr std::size_t kIndexEntryBytes = 36;
+constexpr std::size_t kTrailerBytes = 40;
+
+// ---- little-endian scalar packing (explicit: the header is a wire format,
+// not a memory dump, so it stays valid across compilers and platforms).
+
+void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+// ---- varint / zigzag
+
+void put_uvarint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_svarint(std::vector<std::uint8_t>& out, std::int64_t v) {
+  // zigzag: small magnitudes of either sign stay short.
+  put_uvarint(out, (static_cast<std::uint64_t>(v) << 1) ^
+                       static_cast<std::uint64_t>(v >> 63));
+}
+
+bool get_uvarint(const std::uint8_t* p, std::size_t len, std::size_t& pos,
+                 std::uint64_t& v) {
+  v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos >= len) return false;
+    const std::uint8_t b = p[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return true;
+  }
+  return false;  // overlong
+}
+
+bool get_svarint(const std::uint8_t* p, std::size_t len, std::size_t& pos,
+                 std::int64_t& v) {
+  std::uint64_t u = 0;
+  if (!get_uvarint(p, len, pos, u)) return false;
+  v = static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+  return true;
+}
+
+void encode_record(std::vector<std::uint8_t>& out, const trace::Record& r,
+                   const trace::Record& prev) {
+  put_svarint(out, static_cast<std::int64_t>(r.timestamp) -
+                       static_cast<std::int64_t>(prev.timestamp));
+  put_svarint(out, static_cast<std::int64_t>(r.sector) -
+                       static_cast<std::int64_t>(prev.sector));
+  put_svarint(out, static_cast<std::int64_t>(r.size_bytes) -
+                       static_cast<std::int64_t>(prev.size_bytes));
+  put_uvarint(out, (static_cast<std::uint64_t>(r.outstanding) << 1) |
+                       (r.is_write ? 1u : 0u));
+}
+
+std::vector<trace::Record> decode_payload(const std::uint8_t* p,
+                                          std::size_t len,
+                                          std::uint32_t count) {
+  std::vector<trace::Record> out;
+  out.reserve(count);
+  trace::Record prev;
+  std::size_t pos = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::int64_t dts = 0, dsec = 0, dsize = 0;
+    std::uint64_t flags = 0;
+    if (!get_svarint(p, len, pos, dts) || !get_svarint(p, len, pos, dsec) ||
+        !get_svarint(p, len, pos, dsize) || !get_uvarint(p, len, pos, flags)) {
+      throw std::runtime_error("esst: chunk payload underruns record count");
+    }
+    trace::Record r;
+    r.timestamp =
+        static_cast<SimTime>(static_cast<std::int64_t>(prev.timestamp) + dts);
+    r.sector = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(prev.sector) + dsec);
+    r.size_bytes = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(prev.size_bytes) + dsize);
+    r.is_write = static_cast<std::uint8_t>(flags & 1);
+    r.outstanding = static_cast<std::uint16_t>(flags >> 1);
+    out.push_back(r);
+    prev = r;
+  }
+  if (pos != len) {
+    throw std::runtime_error("esst: chunk payload has trailing bytes");
+  }
+  return out;
+}
+
+void write_bytes(std::ostream& os, const void* p, std::size_t n) {
+  os.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  if (!os) throw std::runtime_error("esst: write failed");
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+// ---------------------------------------------------------------- writer
+
+EsstWriter::EsstWriter(std::ostream& os, EsstMeta meta)
+    : os_(os), meta_(std::move(meta)) {
+  if (meta_.records_per_chunk == 0) meta_.records_per_chunk = 1;
+  std::uint8_t h[kHeaderBytes] = {};
+  std::memcpy(h, kMagic, sizeof kMagic);
+  put_u16(h + 8, kVersion);
+  put_u16(h + 10, static_cast<std::uint16_t>(kHeaderBytes));
+  put_u32(h + 12, static_cast<std::uint32_t>(meta_.node_id));
+  put_u64(h + 16, meta_.total_sectors);
+  put_u32(h + 24, meta_.sector_bytes);
+  put_u32(h + 28, meta_.records_per_chunk);
+  put_u64(h + 32, meta_.seed);
+  put_u64(h + 40, meta_.ram_bytes);
+  const auto name_len =
+      std::min<std::size_t>(meta_.experiment.size(), kNameBytes);
+  put_u32(h + 48, static_cast<std::uint32_t>(name_len));
+  std::memcpy(h + 52, meta_.experiment.data(), name_len);
+  put_u32(h + kHeaderBytes - 4, crc32(h, kHeaderBytes - 4));
+  write_bytes(os_, h, kHeaderBytes);
+  offset_ = kHeaderBytes;
+}
+
+EsstWriter::~EsstWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // A destructor cannot usefully report a write failure; finish() directly
+    // to observe errors.
+  }
+}
+
+void EsstWriter::append(const trace::Record& r) {
+  if (finished_) throw std::logic_error("esst: append after finish");
+  if (open_.records == 0) {
+    open_.ts_first = r.timestamp;
+    open_.sector_min = r.sector;
+    open_.sector_max = r.sector;
+    prev_ = trace::Record{};  // chunks decode independently
+  }
+  encode_record(payload_, r, prev_);
+  prev_ = r;
+  ++open_.records;
+  open_.ts_last = r.timestamp;
+  open_.sector_min = std::min(open_.sector_min, r.sector);
+  open_.sector_max = std::max(open_.sector_max, r.sector);
+  max_ts_ = std::max(max_ts_, r.timestamp);
+  ++total_records_;
+  if (open_.records >= meta_.records_per_chunk) flush_chunk();
+}
+
+void EsstWriter::flush_chunk() {
+  if (open_.records == 0) return;
+  open_.offset = offset_;
+
+  std::uint8_t hdr[kChunkHeaderBytes];
+  put_u32(hdr, kChunkMagic);
+  put_u32(hdr + 4, static_cast<std::uint32_t>(payload_.size()));
+  write_bytes(os_, hdr, sizeof hdr);
+  write_bytes(os_, payload_.data(), payload_.size());
+
+  std::uint8_t ftr[kChunkFooterBytes];
+  put_u32(ftr, open_.records);
+  put_u64(ftr + 4, open_.ts_first);
+  put_u64(ftr + 12, open_.ts_last);
+  put_u32(ftr + 20, open_.sector_min);
+  put_u32(ftr + 24, open_.sector_max);
+  // CRC covers the footer summary too (offset 0..28-4), chained after the
+  // payload, so a corrupted count or range is also detected.
+  const std::uint32_t crc =
+      crc32(ftr, kChunkFooterBytes - 4, crc32(payload_.data(), payload_.size()));
+  put_u32(ftr + kChunkFooterBytes - 4, crc);
+  write_bytes(os_, ftr, sizeof ftr);
+
+  offset_ += kChunkHeaderBytes + payload_.size() + kChunkFooterBytes;
+  index_.push_back(open_);
+  payload_.clear();
+  open_ = ChunkInfo{};
+}
+
+void EsstWriter::finish(SimTime duration) {
+  if (finished_) return;
+  flush_chunk();
+  const std::uint64_t index_offset = offset_;
+  std::vector<std::uint8_t> entries;
+  entries.reserve(index_.size() * kIndexEntryBytes);
+  for (const auto& c : index_) {
+    std::uint8_t e[kIndexEntryBytes];
+    put_u64(e, c.offset);
+    put_u32(e + 8, c.records);
+    put_u64(e + 12, c.ts_first);
+    put_u64(e + 20, c.ts_last);
+    put_u32(e + 28, c.sector_min);
+    put_u32(e + 32, c.sector_max);
+    entries.insert(entries.end(), e, e + sizeof e);
+  }
+  write_bytes(os_, entries.data(), entries.size());
+
+  std::uint8_t t[kTrailerBytes];
+  put_u32(t, static_cast<std::uint32_t>(index_.size()));
+  put_u32(t + 4, crc32(entries.data(), entries.size()));
+  put_u64(t + 8, duration > 0 ? duration : max_ts_);
+  put_u64(t + 16, total_records_);
+  put_u64(t + 24, index_offset);
+  std::memcpy(t + 32, kIndexMagic, sizeof kIndexMagic);
+  write_bytes(os_, t, sizeof t);
+  os_.flush();
+  finished_ = true;
+}
+
+// ---------------------------------------------------------------- file sink
+
+struct EsstFileSink::Impl {
+  std::ofstream file;
+  std::unique_ptr<EsstWriter> writer;
+};
+
+EsstFileSink::EsstFileSink(const std::string& path, EsstMeta meta)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->file.open(path, std::ios::binary | std::ios::trunc);
+  if (!impl_->file) throw std::runtime_error("esst: cannot open " + path);
+  impl_->writer = std::make_unique<EsstWriter>(impl_->file, std::move(meta));
+}
+
+EsstFileSink::~EsstFileSink() = default;
+
+void EsstFileSink::on_record(const trace::Record& r) {
+  impl_->writer->append(r);
+}
+
+void EsstFileSink::on_finish(SimTime duration) {
+  impl_->writer->finish(duration);
+}
+
+std::uint64_t EsstFileSink::records_written() const {
+  return impl_->writer->records_written();
+}
+
+// ---------------------------------------------------------------- reader
+
+namespace {
+
+/// Reads the chunk at the current stream position. Returns false (leaving
+/// `info`/`payload` unspecified) when the bytes there are not a structurally
+/// complete chunk. `crc_ok` reports payload+footer integrity.
+bool read_chunk_at(std::istream& is, std::uint64_t offset,
+                   std::uint64_t file_size, ChunkInfo& info,
+                   std::vector<std::uint8_t>& payload, bool& crc_ok) {
+  if (offset + kChunkHeaderBytes + kChunkFooterBytes > file_size) return false;
+  is.clear();
+  is.seekg(static_cast<std::streamoff>(offset));
+  std::uint8_t hdr[kChunkHeaderBytes];
+  is.read(reinterpret_cast<char*>(hdr), sizeof hdr);
+  if (!is || get_u32(hdr) != kChunkMagic) return false;
+  const std::uint32_t payload_bytes = get_u32(hdr + 4);
+  if (offset + kChunkHeaderBytes + payload_bytes + kChunkFooterBytes >
+      file_size) {
+    return false;
+  }
+  payload.resize(payload_bytes);
+  is.read(reinterpret_cast<char*>(payload.data()), payload_bytes);
+  std::uint8_t ftr[kChunkFooterBytes];
+  is.read(reinterpret_cast<char*>(ftr), sizeof ftr);
+  if (!is) return false;
+  info.offset = offset;
+  info.records = get_u32(ftr);
+  info.ts_first = get_u64(ftr + 4);
+  info.ts_last = get_u64(ftr + 12);
+  info.sector_min = get_u32(ftr + 20);
+  info.sector_max = get_u32(ftr + 24);
+  const std::uint32_t want = get_u32(ftr + kChunkFooterBytes - 4);
+  crc_ok = crc32(ftr, kChunkFooterBytes - 4,
+                 crc32(payload.data(), payload.size())) == want;
+  return true;
+}
+
+std::uint64_t stream_size(std::istream& is) {
+  is.clear();
+  is.seekg(0, std::ios::end);
+  const auto end = is.tellg();
+  return end < 0 ? 0 : static_cast<std::uint64_t>(end);
+}
+
+}  // namespace
+
+EsstReader::EsstReader(std::istream& is) : is_(is) {
+  const std::uint64_t size = stream_size(is_);
+  if (size < kHeaderBytes) throw std::runtime_error("esst: file too short");
+  is_.seekg(0);
+  std::uint8_t h[kHeaderBytes];
+  is_.read(reinterpret_cast<char*>(h), sizeof h);
+  if (!is_ || std::memcmp(h, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("esst: bad magic");
+  }
+  if (get_u16(h + 8) != kVersion) {
+    throw std::runtime_error("esst: unsupported version");
+  }
+  if (crc32(h, kHeaderBytes - 4) != get_u32(h + kHeaderBytes - 4)) {
+    throw std::runtime_error("esst: header CRC mismatch");
+  }
+  meta_.node_id = static_cast<std::int32_t>(get_u32(h + 12));
+  meta_.total_sectors = get_u64(h + 16);
+  meta_.sector_bytes = get_u32(h + 24);
+  meta_.records_per_chunk = get_u32(h + 28);
+  meta_.seed = get_u64(h + 32);
+  meta_.ram_bytes = get_u64(h + 40);
+  const std::uint32_t name_len =
+      std::min<std::uint32_t>(get_u32(h + 48), kNameBytes);
+  meta_.experiment.assign(reinterpret_cast<const char*>(h + 52), name_len);
+
+  // Fast path: the trailing index.
+  if (size >= kHeaderBytes + kTrailerBytes) {
+    std::uint8_t t[kTrailerBytes];
+    is_.seekg(static_cast<std::streamoff>(size - kTrailerBytes));
+    is_.read(reinterpret_cast<char*>(t), sizeof t);
+    if (is_ && std::memcmp(t + 32, kIndexMagic, sizeof kIndexMagic) == 0) {
+      const std::uint32_t chunk_count = get_u32(t);
+      const std::uint32_t index_crc = get_u32(t + 4);
+      const std::uint64_t dur = get_u64(t + 8);
+      const std::uint64_t index_offset = get_u64(t + 24);
+      const std::uint64_t index_bytes =
+          std::uint64_t{chunk_count} * kIndexEntryBytes;
+      if (index_offset >= kHeaderBytes &&
+          index_offset + index_bytes + kTrailerBytes == size) {
+        std::vector<std::uint8_t> entries(index_bytes);
+        is_.clear();
+        is_.seekg(static_cast<std::streamoff>(index_offset));
+        is_.read(reinterpret_cast<char*>(entries.data()),
+                 static_cast<std::streamsize>(entries.size()));
+        if (is_ && crc32(entries.data(), entries.size()) == index_crc) {
+          chunks_.reserve(chunk_count);
+          for (std::uint32_t i = 0; i < chunk_count; ++i) {
+            const std::uint8_t* e = entries.data() + i * kIndexEntryBytes;
+            ChunkInfo c;
+            c.offset = get_u64(e);
+            c.records = get_u32(e + 8);
+            c.ts_first = get_u64(e + 12);
+            c.ts_last = get_u64(e + 20);
+            c.sector_min = get_u32(e + 28);
+            c.sector_max = get_u32(e + 32);
+            chunks_.push_back(c);
+          }
+          duration_ = dur;
+          return;
+        }
+      }
+    }
+  }
+
+  // Salvage path: forward scan, keep every chunk whose CRC passes.
+  salvaged_ = true;
+  std::uint64_t off = kHeaderBytes;
+  std::vector<std::uint8_t> payload;
+  while (off < size) {
+    ChunkInfo info;
+    bool crc_ok = false;
+    if (!read_chunk_at(is_, off, size, info, payload, crc_ok)) break;
+    if (crc_ok) {
+      chunks_.push_back(info);
+      duration_ = std::max(duration_, info.ts_last);
+    } else {
+      ++corrupt_chunks_;
+    }
+    off += kChunkHeaderBytes + payload.size() + kChunkFooterBytes;
+  }
+}
+
+std::uint64_t EsstReader::total_records() const {
+  std::uint64_t n = 0;
+  for (const auto& c : chunks_) n += c.records;
+  return n;
+}
+
+std::vector<trace::Record> EsstReader::read_chunk(std::size_t idx) {
+  const ChunkInfo& c = chunks_.at(idx);
+  ChunkInfo read_info;
+  std::vector<std::uint8_t> payload;
+  bool crc_ok = false;
+  if (!read_chunk_at(is_, c.offset, stream_size(is_), read_info, payload,
+                     crc_ok)) {
+    throw std::runtime_error("esst: chunk unreadable");
+  }
+  if (!crc_ok) throw std::runtime_error("esst: chunk CRC mismatch");
+  return decode_payload(payload.data(), payload.size(), read_info.records);
+}
+
+trace::TraceSet EsstReader::read_all() {
+  trace::TraceSet ts(meta_.experiment, meta_.node_id);
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    try {
+      ts.add_all(read_chunk(i));
+    } catch (const std::runtime_error&) {
+      ++corrupt_chunks_;  // indexed file with a damaged chunk body
+    }
+  }
+  ts.set_duration(duration_);
+  return ts;
+}
+
+bool EsstReader::Filter::chunk_may_match(const ChunkInfo& c) const {
+  return c.ts_last >= ts_min && c.ts_first <= ts_max &&
+         std::uint64_t{c.sector_max} >= sector_min &&
+         std::uint64_t{c.sector_min} <= sector_max;
+}
+
+bool EsstReader::Filter::record_matches(const trace::Record& r) const {
+  if (r.timestamp < ts_min || r.timestamp > ts_max) return false;
+  if (r.sector < sector_min || r.sector > sector_max) return false;
+  if (rw >= 0 && (r.is_write != 0) != (rw != 0)) return false;
+  return true;
+}
+
+trace::TraceSet EsstReader::read_filtered(const Filter& f,
+                                          std::size_t* chunks_skipped) {
+  trace::TraceSet ts(meta_.experiment, meta_.node_id);
+  std::size_t skipped = 0;
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    if (!f.chunk_may_match(chunks_[i])) {
+      ++skipped;
+      continue;
+    }
+    std::vector<trace::Record> recs;
+    try {
+      recs = read_chunk(i);
+    } catch (const std::runtime_error&) {
+      ++corrupt_chunks_;
+      continue;
+    }
+    for (const auto& r : recs) {
+      if (f.record_matches(r)) ts.add(r);
+    }
+  }
+  ts.set_duration(duration_);
+  if (chunks_skipped != nullptr) *chunks_skipped = skipped;
+  return ts;
+}
+
+// ---------------------------------------------------------------- wrappers
+
+void write_esst(const trace::TraceSet& ts, std::ostream& os, EsstMeta meta) {
+  if (meta.experiment.empty()) meta.experiment = ts.experiment();
+  if (meta.node_id == 0) meta.node_id = ts.node_id();
+  EsstWriter w(os, std::move(meta));
+  for (const auto& r : ts.records()) w.append(r);
+  w.finish(ts.duration());
+}
+
+void write_esst_file(const trace::TraceSet& ts, const std::string& path,
+                     EsstMeta meta) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("esst: cannot open " + path);
+  write_esst(ts, f, std::move(meta));
+}
+
+trace::TraceSet read_esst(std::istream& is) {
+  EsstReader r(is);
+  return r.read_all();
+}
+
+trace::TraceSet read_esst_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("esst: cannot open " + path);
+  return read_esst(f);
+}
+
+bool is_esst(std::istream& is) {
+  const auto pos = is.tellg();
+  char m[8] = {};
+  is.read(m, sizeof m);
+  const bool ok =
+      is.gcount() == sizeof m && std::memcmp(m, kMagic, sizeof m) == 0;
+  is.clear();
+  is.seekg(pos);
+  return ok;
+}
+
+}  // namespace ess::telemetry

@@ -1,0 +1,188 @@
+// ESST: the indexed, chunked, delta-encoded on-disk trace format.
+//
+// The flat "ESSTRC01" format in trace/io.hpp stores 19 bytes per record and
+// must be read front-to-back; a multi-hour capture is unseekable and a
+// truncated file is unreadable. ESST fixes both, following the layout used
+// by production trace systems (Recorder, TraceTracker):
+//
+//   [header: 128 bytes, fixed, little-endian]
+//     magic "ESST0001", version, node id, disk geometry (total sectors,
+//     sector size), sim parameters (seed, RAM), experiment name, CRC32.
+//   [chunk]*
+//     Each chunk holds up to records_per_chunk (default 64 Ki) records,
+//     varint delta-encoded against the previous record *within the chunk*
+//     (chunks decode independently, so a reader can skip any of them):
+//       zigzag(ts delta), zigzag(sector delta), zigzag(size delta),
+//       uvarint(outstanding << 1 | is_write)
+//     Framing: u32 chunk magic, u32 payload bytes, payload, then a footer
+//     (record count, first/last timestamp, min/max sector, payload CRC32).
+//   [index]
+//     One entry per chunk (offset + the footer's count/ranges) and a fixed
+//     40-byte trailer (chunk count, index CRC32, capture duration, total
+//     records, index offset, magic "ESSTIDX1").
+//
+// Readers seek to the trailer and load the index; `filter`-style queries
+// skip whole chunks whose [ts, sector] ranges cannot match. When the index
+// is missing or bad (the writer died mid-run, the tail was truncated), the
+// reader falls back to a forward scan and salvages every chunk whose CRC
+// passes — a crash loses at most the unflushed chunk, never the file.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/sink.hpp"
+#include "trace/trace_set.hpp"
+
+namespace ess::telemetry {
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial). `seed` chains partial blocks:
+/// crc32(b, crc32(a)) == crc32(a+b).
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+/// Fixed-header metadata. The geometry/sim fields let an analysis tool
+/// interpret a trace without the config that produced it (band width checks,
+/// disk-fraction coverage, reproducing the run).
+struct EsstMeta {
+  std::string experiment;
+  std::int32_t node_id = 0;
+  std::uint64_t total_sectors = 1'018'080;  // the 500 MB IDE disk
+  std::uint32_t sector_bytes = 512;
+  std::uint32_t records_per_chunk = 65'536;
+  std::uint64_t seed = 0;
+  std::uint64_t ram_bytes = 0;
+};
+
+/// Per-chunk index entry (also the chunk footer's summary): enough to skip
+/// the chunk without decoding it.
+struct ChunkInfo {
+  std::uint64_t offset = 0;  // file offset of the chunk's framing header
+  std::uint32_t records = 0;
+  SimTime ts_first = 0;
+  SimTime ts_last = 0;
+  std::uint32_t sector_min = 0;
+  std::uint32_t sector_max = 0;
+};
+
+/// Streaming writer: append records as they are emitted; chunks flush when
+/// full, the index and trailer are written by finish(). Safe to use as the
+/// back-end of a long capture — memory held is one chunk plus the index.
+class EsstWriter {
+ public:
+  EsstWriter(std::ostream& os, EsstMeta meta);
+  ~EsstWriter();
+
+  EsstWriter(const EsstWriter&) = delete;
+  EsstWriter& operator=(const EsstWriter&) = delete;
+
+  void append(const trace::Record& r);
+
+  /// Flush the open chunk and write index + trailer. `duration` of 0 means
+  /// "span of the records seen". Idempotent; called by the destructor if
+  /// the caller did not.
+  void finish(SimTime duration = 0);
+
+  std::uint64_t records_written() const { return total_records_; }
+
+ private:
+  void flush_chunk();
+
+  std::ostream& os_;
+  EsstMeta meta_;
+  std::vector<std::uint8_t> payload_;  // open chunk, encoded
+  ChunkInfo open_;                     // open chunk summary
+  trace::Record prev_;                 // delta base within the open chunk
+  std::vector<ChunkInfo> index_;
+  std::uint64_t offset_ = 0;  // bytes written so far
+  std::uint64_t total_records_ = 0;
+  SimTime max_ts_ = 0;
+  bool finished_ = false;
+};
+
+/// A Sink that streams records into an ESST file — the trace-drain daemon's
+/// on-disk back-end, and the capture side of `esstrace`.
+class EsstFileSink final : public Sink {
+ public:
+  EsstFileSink(const std::string& path, EsstMeta meta);
+  ~EsstFileSink() override;
+
+  void on_record(const trace::Record& r) override;
+  void on_finish(SimTime duration) override;
+
+  std::uint64_t records_written() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Reader: loads the header and the chunk index (or scan-salvages when the
+/// index is missing/corrupt), then decodes chunks on demand.
+class EsstReader {
+ public:
+  /// Parses the header and locates chunks. Throws std::runtime_error only
+  /// when the header itself is unusable; damaged chunks and a damaged/
+  /// missing index are recovered around, not fatal.
+  explicit EsstReader(std::istream& is);
+
+  const EsstMeta& meta() const { return meta_; }
+  const std::vector<ChunkInfo>& chunks() const { return chunks_; }
+
+  /// True when the trailing index was missing or bad and the chunk list was
+  /// rebuilt by a forward scan.
+  bool salvaged() const { return salvaged_; }
+  /// Chunks dropped during the scan because their CRC failed.
+  std::size_t corrupt_chunks() const { return corrupt_chunks_; }
+
+  SimTime duration() const { return duration_; }
+  std::uint64_t total_records() const;
+
+  /// Decode chunk `idx`. Throws on CRC mismatch (read_all()/read_filtered()
+  /// catch and skip instead).
+  std::vector<trace::Record> read_chunk(std::size_t idx);
+
+  trace::TraceSet read_all();
+
+  struct Filter {
+    SimTime ts_min = 0;
+    SimTime ts_max = std::numeric_limits<SimTime>::max();
+    std::uint64_t sector_min = 0;
+    std::uint64_t sector_max = std::numeric_limits<std::uint64_t>::max();
+    int rw = -1;  // -1 = both, 0 = reads only, 1 = writes only
+
+    bool chunk_may_match(const ChunkInfo& c) const;
+    bool record_matches(const trace::Record& r) const;
+  };
+
+  /// Decode only chunks whose index ranges can intersect the filter; the
+  /// point of the format. `chunks_skipped` (optional) reports how many
+  /// chunks the index pruned without decoding.
+  trace::TraceSet read_filtered(const Filter& f,
+                                std::size_t* chunks_skipped = nullptr);
+
+ private:
+  std::istream& is_;
+  EsstMeta meta_;
+  std::vector<ChunkInfo> chunks_;
+  SimTime duration_ = 0;
+  bool salvaged_ = false;
+  std::size_t corrupt_chunks_ = 0;
+};
+
+// Whole-file conveniences. write_esst_file fills meta.experiment/node_id
+// from the TraceSet when left at defaults.
+void write_esst(const trace::TraceSet& ts, std::ostream& os,
+                EsstMeta meta = {});
+void write_esst_file(const trace::TraceSet& ts, const std::string& path,
+                     EsstMeta meta = {});
+trace::TraceSet read_esst(std::istream& is);
+trace::TraceSet read_esst_file(const std::string& path);
+
+/// True when the stream starts with the ESST magic (position restored).
+bool is_esst(std::istream& is);
+
+}  // namespace ess::telemetry

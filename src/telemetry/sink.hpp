@@ -1,0 +1,52 @@
+// Streaming telemetry: the record-consumer interface.
+//
+// The instrumented driver (and the kernel's trace-drain daemon) publish each
+// trace::Record to a Sink as it is emitted. Consumers are incremental: they
+// never hold the whole trace, so trace length is bounded by disk (ESST
+// files) or by the consumer's own state (histograms, top-K sketches), not by
+// RAM — the difference between a one-off measurement harness and a tool that
+// can watch a production-length run in flight.
+#pragma once
+
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace ess::telemetry {
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  /// One record, in emission order.
+  virtual void on_record(const trace::Record& r) = 0;
+
+  /// End of stream. `duration` is the wall-clock span of the capture (which
+  /// can extend past the last record). Consumers finalize rate metrics here;
+  /// file writers flush and write their index.
+  virtual void on_finish(SimTime duration) { (void)duration; }
+};
+
+/// Broadcasts every record to a set of downstream sinks (live consumers +
+/// an ESST file writer, typically). Does not own them.
+class FanoutSink final : public Sink {
+ public:
+  FanoutSink() = default;
+  explicit FanoutSink(std::vector<Sink*> sinks) : sinks_(std::move(sinks)) {}
+
+  void add(Sink* s) {
+    if (s != nullptr) sinks_.push_back(s);
+  }
+
+  void on_record(const trace::Record& r) override {
+    for (Sink* s : sinks_) s->on_record(r);
+  }
+  void on_finish(SimTime duration) override {
+    for (Sink* s : sinks_) s->on_finish(duration);
+  }
+
+ private:
+  std::vector<Sink*> sinks_;
+};
+
+}  // namespace ess::telemetry

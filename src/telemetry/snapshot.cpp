@@ -1,0 +1,61 @@
+#include "telemetry/snapshot.hpp"
+
+#include <cstdio>
+
+namespace ess::telemetry {
+
+SnapshotEmitter::SnapshotEmitter(const StreamSummary& source, SimTime period,
+                                 Callback cb)
+    : source_(source),
+      period_(period > 0 ? period : sec(60)),
+      next_(period_),
+      cb_(std::move(cb)) {}
+
+void SnapshotEmitter::on_record(const trace::Record& r) {
+  while (r.timestamp >= next_) {
+    Snapshot s = make(next_, false);
+    ++emitted_;
+    if (cb_) cb_(s);
+    next_ += period_;
+  }
+}
+
+void SnapshotEmitter::on_finish(SimTime duration) {
+  Snapshot s = make(duration > 0 ? duration : source_.last_timestamp(), true);
+  ++emitted_;
+  if (cb_) cb_(s);
+}
+
+Snapshot SnapshotEmitter::make(SimTime t, bool final_snapshot) const {
+  Snapshot s;
+  s.t = t;
+  s.records = source_.records();
+  s.reads = source_.rw().reads();
+  s.writes = source_.rw().writes();
+  s.write_pct = source_.rw().write_pct();
+  s.recent_rate = source_.sliding_rate().rate();
+  s.max_request_bytes = source_.sizes().max_request_bytes();
+  const auto top = source_.hot().top(1);
+  if (!top.empty()) {
+    s.top_sector = top.front().sector;
+    s.top_count = top.front().count;
+  }
+  s.final_snapshot = final_snapshot;
+  return s;
+}
+
+std::string render_progress_line(const Snapshot& s) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "t=%6.0fs  n=%8llu  w=%5.1f%%  %7.2f req/s  max=%3u KB  "
+                "hot=%llu x%llu%s",
+                to_seconds(s.t),
+                static_cast<unsigned long long>(s.records), s.write_pct,
+                s.recent_rate, s.max_request_bytes / 1024,
+                static_cast<unsigned long long>(s.top_sector),
+                static_cast<unsigned long long>(s.top_count),
+                s.final_snapshot ? "  [final]" : "");
+  return buf;
+}
+
+}  // namespace ess::telemetry

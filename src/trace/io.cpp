@@ -95,4 +95,80 @@ void write_csv_file(const TraceSet& ts, const std::string& path) {
   write_csv(ts, f);
 }
 
+namespace {
+
+/// Parses an unsigned decimal field bounded by `max`; false on anything
+/// else (empty, sign, garbage, overflow) — a malformed row, not a throw.
+bool parse_field(const std::string& s, std::uint64_t max, std::uint64_t& out) {
+  if (s.empty() || s.size() > 20) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (v > (std::uint64_t{0xFFFFFFFFFFFFFFFF} - (c - '0')) / 10) return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (v > max) return false;
+  out = v;
+  return true;
+}
+
+bool parse_record(const std::string& line, Record& r) {
+  std::string fields[5];
+  std::size_t field = 0;
+  for (const char c : line) {
+    if (c == ',') {
+      if (++field >= 5) return false;  // too many columns
+    } else {
+      fields[field].push_back(c);
+    }
+  }
+  if (field != 4) return false;  // too few columns
+  std::uint64_t ts = 0, sector = 0, size = 0, rw = 0, out = 0;
+  if (!parse_field(fields[0], std::uint64_t{0xFFFFFFFFFFFFFFFF}, ts) ||
+      !parse_field(fields[1], 0xFFFFFFFFu, sector) ||
+      !parse_field(fields[2], 0xFFFFFFFFu, size) ||
+      !parse_field(fields[3], 1, rw) ||
+      !parse_field(fields[4], 0xFFFFu, out)) {
+    return false;
+  }
+  r.timestamp = ts;
+  r.sector = static_cast<std::uint32_t>(sector);
+  r.size_bytes = static_cast<std::uint32_t>(size);
+  r.is_write = static_cast<std::uint8_t>(rw);
+  r.outstanding = static_cast<std::uint16_t>(out);
+  return true;
+}
+
+}  // namespace
+
+TraceSet read_csv(std::istream& is, CsvReadStats* stats) {
+  CsvReadStats local;
+  CsvReadStats& st = stats != nullptr ? *stats : local;
+  st = CsvReadStats{};
+  TraceSet ts;
+  std::string line;
+  bool first_content = true;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    Record r;
+    if (parse_record(line, r)) {
+      ts.add(r);
+      ++st.rows;
+    } else if (first_content) {
+      st.had_header = true;  // the column-name row
+    } else {
+      ++st.skipped;
+    }
+    first_content = false;
+  }
+  return ts;
+}
+
+TraceSet read_csv_file(const std::string& path, CsvReadStats* stats) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("trace: cannot open " + path);
+  return read_csv(f, stats);
+}
+
 }  // namespace ess::trace

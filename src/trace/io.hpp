@@ -21,4 +21,16 @@ TraceSet read_binary_file(const std::string& path);
 void write_csv(const TraceSet& ts, std::ostream& os);
 void write_csv_file(const TraceSet& ts, const std::string& path);
 
+/// CSV ingestion (the reverse direction: traces exported by this tool, or
+/// produced by hand / another harness). Tolerant by design — an empty file
+/// is an empty trace, and blank lines, '#' comments, a header row, and
+/// malformed rows are skipped (and counted), never fatal.
+struct CsvReadStats {
+  std::uint64_t rows = 0;     // records successfully parsed
+  std::uint64_t skipped = 0;  // malformed rows dropped
+  bool had_header = false;
+};
+TraceSet read_csv(std::istream& is, CsvReadStats* stats = nullptr);
+TraceSet read_csv_file(const std::string& path, CsvReadStats* stats = nullptr);
+
 }  // namespace ess::trace

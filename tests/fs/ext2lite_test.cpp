@@ -154,8 +154,6 @@ TEST_F(Ext2LiteTest, ReadBeyondEofCompletesImmediately) {
 
 TEST_F(Ext2LiteTest, AtimeUpdatesDirtyInode) {
   FsConfig with_atime = default_cfg();
-  FsConfig no_atime = default_cfg();
-  no_atime.atime_updates = false;
 
   auto fs = make(with_atime);
   const Ino ino = fs.create("/f");

@@ -1,0 +1,349 @@
+#include "telemetry/consumers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/characterize.hpp"
+#include "telemetry/diff.hpp"
+#include "telemetry/snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace ess::telemetry {
+namespace {
+
+// A mixed-shape trace exercising every consumer: two dominant sectors, a
+// long tail, several size classes, skewed R/W mix.
+trace::TraceSet mixed_trace() {
+  trace::TraceSet ts("mixed", 0);
+  Rng rng(42);
+  for (int i = 0; i < 3000; ++i) {
+    trace::Record r;
+    r.timestamp = static_cast<SimTime>(i) * 400'000 +
+                  static_cast<SimTime>(rng.uniform(1000));
+    const auto roll = static_cast<std::uint32_t>(rng.uniform(100));
+    if (roll < 40) {
+      r.sector = 45'000;
+    } else if (roll < 65) {
+      r.sector = 99'184;
+    } else {
+      r.sector = static_cast<std::uint32_t>(rng.uniform(1'018'080));
+    }
+    r.size_bytes = 1024u << rng.uniform(4);
+    r.is_write = static_cast<std::uint8_t>(roll % 5 != 0);
+    r.outstanding = static_cast<std::uint16_t>(roll % 4);
+    ts.add(r);
+  }
+  ts.set_duration(sec(1250));
+  return ts;
+}
+
+template <typename Consumer>
+void feed(Consumer& c, const trace::TraceSet& ts) {
+  for (const auto& r : ts.records()) c.on_record(r);
+  c.on_finish(ts.duration());
+}
+
+TEST(Consumers, SizeHistogramMatchesBatchAnalysis) {
+  const auto ts = mixed_trace();
+  SizeHistogramConsumer c;
+  feed(c, ts);
+  const auto batch = analysis::request_size_histogram(ts);
+  EXPECT_EQ(c.histogram().cells(), batch.cells());
+  for (std::uint32_t bytes : {1024u, 2048u, 4096u, 8192u}) {
+    EXPECT_DOUBLE_EQ(c.fraction(bytes),
+                     analysis::size_class_fraction(ts, bytes));
+    EXPECT_DOUBLE_EQ(c.fraction_at_least(bytes),
+                     analysis::size_at_least_fraction(ts, bytes));
+  }
+  EXPECT_EQ(c.max_request_bytes(), 8192u);
+}
+
+TEST(Consumers, RwMixMatchesBatchAnalysis) {
+  const auto ts = mixed_trace();
+  RwMixConsumer c;
+  feed(c, ts);
+  const auto batch = analysis::rw_mix(ts);
+  EXPECT_EQ(c.reads(), batch.reads);
+  EXPECT_EQ(c.writes(), batch.writes);
+  EXPECT_EQ(c.total(), batch.total);
+  EXPECT_DOUBLE_EQ(c.read_pct(), batch.read_pct);
+  EXPECT_DOUBLE_EQ(c.write_pct(), batch.write_pct);
+  EXPECT_DOUBLE_EQ(c.requests_per_sec(), batch.requests_per_sec);
+}
+
+TEST(Consumers, SpatialBandsMatchBatchAnalysis) {
+  const auto ts = mixed_trace();
+  SpatialBandsConsumer c;
+  feed(c, ts);
+  const auto batch = analysis::spatial_locality(ts);
+  const auto bands = c.bands();
+  ASSERT_EQ(bands.size(), batch.size());
+  for (std::size_t i = 0; i < bands.size(); ++i) {
+    EXPECT_EQ(bands[i].band_start_sector, batch[i].band_start_sector);
+    EXPECT_EQ(bands[i].requests, batch[i].requests);
+    EXPECT_DOUBLE_EQ(bands[i].pct, batch[i].pct);
+  }
+}
+
+TEST(Consumers, TopKIsExactWithinCapacityAndMatchesHotSpots) {
+  const auto ts = mixed_trace();
+  TopKSectorsConsumer c;  // default capacity far above distinct sectors here
+  feed(c, ts);
+  EXPECT_TRUE(c.exact());
+  const auto batch = analysis::hot_spots(ts, 10);
+  const auto top = c.top(10);
+  ASSERT_EQ(top.size(), batch.size());
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(top[i].sector, batch[i].sector);
+    EXPECT_EQ(top[i].count, batch[i].accesses);
+    EXPECT_EQ(top[i].error, 0u);
+    EXPECT_DOUBLE_EQ(top[i].per_sec, batch[i].per_sec);
+  }
+  EXPECT_EQ(top[0].sector, 45'000u);
+  EXPECT_EQ(top[1].sector, 99'184u);
+}
+
+TEST(Consumers, SpaceSavingEvictsButKeepsTheHeavyHitter) {
+  // 4 counters, many distinct sectors: the sketch must go inexact yet keep
+  // the sector that owns half the stream, with count >= its true frequency
+  // and bounded error.
+  TopKSectorsConsumer c(4);
+  std::uint64_t true_hot = 0;
+  for (int i = 0; i < 4000; ++i) {
+    trace::Record r;
+    r.timestamp = static_cast<SimTime>(i);
+    if (i % 2 == 0) {
+      r.sector = 7777;
+      ++true_hot;
+    } else {
+      r.sector = static_cast<std::uint32_t>(10'000 + i);  // all distinct
+    }
+    r.size_bytes = 1024;
+    c.on_record(r);
+  }
+  c.on_finish(sec(4));
+  EXPECT_FALSE(c.exact());
+  EXPECT_LE(c.distinct_tracked(), 4u);
+  const auto top = c.top(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].sector, 7777u);
+  EXPECT_GE(top[0].count, true_hot);  // space-saving never undercounts
+  EXPECT_LE(top[0].count - top[0].error, true_hot);
+  // Space-Saving invariant: min counter <= N / capacity.
+  const auto all = c.top(4);
+  EXPECT_LE(all.back().count, 4000u / 4);
+}
+
+TEST(Consumers, WindowRateSeriesMatchesRateOverTime) {
+  const auto ts = mixed_trace();
+  WindowRateConsumer c(sec(10));
+  feed(c, ts);
+  const auto batch = analysis::rate_over_time(ts, sec(10));
+  ASSERT_EQ(c.series().size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_DOUBLE_EQ(c.series()[i], batch[i]);
+  }
+}
+
+TEST(Consumers, WindowRateClampsRecordsPastDuration) {
+  // A record beyond the declared duration lands in the last window, as the
+  // batch code does.
+  trace::TraceSet ts("clamp", 0);
+  for (SimTime t : {sec(1), sec(5), sec(25)}) {
+    trace::Record r;
+    r.timestamp = t;
+    r.size_bytes = 1024;
+    ts.add(r);
+  }
+  ts.set_duration(sec(20));
+  WindowRateConsumer c(sec(10));
+  feed(c, ts);
+  const auto batch = analysis::rate_over_time(ts, sec(10));
+  ASSERT_EQ(c.series().size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_DOUBLE_EQ(c.series()[i], batch[i]);
+  }
+}
+
+TEST(Consumers, SlidingRateCountsOnlyTheWindow) {
+  SlidingRateConsumer c(sec(10));
+  const SimTime stamps[] = {sec(1), sec(2), sec(3), sec(30), sec(31)};
+  for (SimTime t : stamps) {
+    trace::Record r;
+    r.timestamp = t;
+    r.size_bytes = 1024;
+    c.on_record(r);
+  }
+  // Window (21 s, 31 s]: the three early records aged out.
+  EXPECT_DOUBLE_EQ(c.rate(), 2.0 / 10.0);
+}
+
+TEST(Consumers, StreamSummaryResultAggregatesEverything) {
+  const auto ts = mixed_trace();
+  StreamSummary s;
+  feed(s, ts);
+  EXPECT_TRUE(s.finished());
+  const auto r = s.result("mixed");
+  const auto mix = analysis::rw_mix(ts);
+  EXPECT_EQ(r.experiment, "mixed");
+  EXPECT_EQ(r.records, ts.size());
+  EXPECT_DOUBLE_EQ(r.duration_sec, to_seconds(ts.duration()));
+  EXPECT_EQ(r.reads, mix.reads);
+  EXPECT_EQ(r.writes, mix.writes);
+  EXPECT_DOUBLE_EQ(r.requests_per_sec, mix.requests_per_sec);
+  EXPECT_TRUE(r.hot_exact);
+  ASSERT_FALSE(r.hot.empty());
+  EXPECT_EQ(r.hot[0].sector, 45'000u);
+  double size_total = 0;
+  for (const auto& [size, pct] : r.size_pct) size_total += pct;
+  EXPECT_NEAR(size_total, 100.0, 1e-9);
+  double band_total = 0;
+  for (const auto& [band, pct] : r.band_pct) band_total += pct;
+  EXPECT_NEAR(band_total, 100.0, 1e-9);
+}
+
+TEST(Consumers, UnfinishedSummaryUsesLastTimestamp) {
+  StreamSummary s;
+  trace::Record r;
+  r.timestamp = sec(40);
+  r.size_bytes = 1024;
+  s.on_record(r);
+  EXPECT_FALSE(s.finished());
+  const auto res = s.result();
+  EXPECT_DOUBLE_EQ(res.duration_sec, 40.0);
+  EXPECT_EQ(res.records, 1u);
+}
+
+TEST(Snapshots, EmitterFiresOncePerPeriodPlusFinal) {
+  StreamSummary s;
+  std::vector<Snapshot> seen;
+  SnapshotEmitter emitter(s, sec(10),
+                          [&](const Snapshot& snap) { seen.push_back(snap); });
+  FanoutSink fan;
+  fan.add(&s);
+  fan.add(&emitter);
+  // Records at t = 2, 12, 15, 34 s: boundaries crossed at 10 s (record at
+  // 12) and at 20 + 30 s (record at 34, two boundaries at once).
+  for (std::uint64_t t : {2, 12, 15, 34}) {
+    trace::Record r;
+    r.timestamp = sec(t);
+    r.size_bytes = 2048;
+    r.is_write = 1;
+    fan.on_record(r);
+  }
+  fan.on_finish(sec(40));
+  ASSERT_EQ(seen.size(), 4u);  // 10 s, 20 s, 30 s, final
+  EXPECT_EQ(emitter.emitted(), 4u);
+  EXPECT_EQ(seen[0].t, sec(10));   // snapshots stamp the boundary crossed
+  EXPECT_EQ(seen[0].records, 2u);  // includes the triggering record
+  EXPECT_EQ(seen[1].t, sec(20));
+  EXPECT_EQ(seen[2].t, sec(30));
+  EXPECT_EQ(seen[3].t, sec(40));
+  EXPECT_TRUE(seen[3].final_snapshot);
+  EXPECT_FALSE(seen[0].final_snapshot);
+  EXPECT_EQ(seen[3].records, 4u);
+  EXPECT_EQ(seen[3].writes, 4u);
+  EXPECT_EQ(seen[3].max_request_bytes, 2048u);
+}
+
+TEST(Snapshots, ProgressLineCarriesTheHeadlineNumbers) {
+  Snapshot s;
+  s.t = sec(420);
+  s.records = 1042;
+  s.writes = 1024;
+  s.write_pct = 98.3;
+  s.recent_rate = 16.4;
+  s.max_request_bytes = 16 * 1024;
+  s.top_sector = 45'000;
+  s.top_count = 612;
+  const auto line = render_progress_line(s);
+  EXPECT_NE(line.find("420"), std::string::npos);
+  EXPECT_NE(line.find("1042"), std::string::npos);
+  EXPECT_NE(line.find("98.3"), std::string::npos);
+  EXPECT_NE(line.find("45000"), std::string::npos);
+  EXPECT_EQ(line.find("final"), std::string::npos);
+  s.final_snapshot = true;
+  EXPECT_NE(render_progress_line(s).find("final"), std::string::npos);
+}
+
+TEST(Diff, IdenticalSummariesPass) {
+  const auto ts = mixed_trace();
+  StreamSummary a;
+  StreamSummary b;
+  feed(a, ts);
+  feed(b, ts);
+  const auto d = diff_summaries(a.result("x"), b.result("x"));
+  EXPECT_TRUE(d.ok);
+  EXPECT_EQ(d.failed, 0u);
+  EXPECT_NE(render_diff(d).find("OK"), std::string::npos);
+}
+
+TEST(Diff, RwShiftBeyondToleranceFails) {
+  const auto ts = mixed_trace();
+  StreamSummary a;
+  feed(a, ts);
+  // Same records with every read turned into a write: mix moves ~20 points.
+  StreamSummary b;
+  for (auto r : ts.records()) {
+    r.is_write = 1;
+    b.on_record(r);
+  }
+  b.on_finish(ts.duration());
+  const auto d = diff_summaries(a.result(), b.result());
+  EXPECT_FALSE(d.ok);
+  EXPECT_GT(d.failed, 0u);
+  const auto text = render_diff(d);
+  EXPECT_NE(text.find("!!"), std::string::npos);
+  EXPECT_NE(text.find("FAIL"), std::string::npos);
+}
+
+TEST(Diff, HotSetReplacementTripsTheOverlapCheck) {
+  trace::TraceSet a_ts("a", 0);
+  trace::TraceSet b_ts("b", 0);
+  for (int i = 0; i < 1000; ++i) {
+    trace::Record r;
+    r.timestamp = static_cast<SimTime>(i) * 1000;
+    r.size_bytes = 1024;
+    r.sector = static_cast<std::uint32_t>(100 + i % 5);  // hot set A
+    a_ts.add(r);
+    r.sector = static_cast<std::uint32_t>(900'000 + i % 5);  // disjoint set
+    b_ts.add(r);
+  }
+  a_ts.set_duration(sec(1));
+  b_ts.set_duration(sec(1));
+  StreamSummary a;
+  StreamSummary b;
+  feed(a, a_ts);
+  feed(b, b_ts);
+  const auto d = diff_summaries(a.result(), b.result());
+  EXPECT_FALSE(d.ok);
+  bool overlap_failed = false;
+  for (const auto& e : d.entries) {
+    if (e.metric.find("overlap") != std::string::npos && !e.ok) {
+      overlap_failed = true;
+    }
+  }
+  EXPECT_TRUE(overlap_failed);
+}
+
+TEST(Diff, LooseTolerancesAcceptSmallDrift) {
+  const auto ts = mixed_trace();
+  StreamSummary a;
+  feed(a, ts);
+  // Drop the last 2% of records: counts drift slightly, shape holds.
+  StreamSummary b;
+  const std::size_t keep = ts.size() - ts.size() / 50;
+  for (std::size_t i = 0; i < keep; ++i) b.on_record(ts.records()[i]);
+  b.on_finish(ts.duration());
+  DiffTolerance tol;
+  tol.scalar_rel = 0.05;
+  tol.pct_points = 2.0;
+  const auto d = diff_summaries(a.result(), b.result(), tol);
+  EXPECT_TRUE(d.ok) << render_diff(d);
+}
+
+}  // namespace
+}  // namespace ess::telemetry

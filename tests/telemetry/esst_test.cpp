@@ -1,0 +1,355 @@
+#include "telemetry/esst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "trace/io.hpp"
+
+namespace ess::telemetry {
+namespace {
+
+trace::TraceSet sample(std::size_t n = 100) {
+  trace::TraceSet ts("esst-roundtrip", 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    trace::Record r;
+    r.timestamp = static_cast<SimTime>(i) * 1000;
+    r.sector = static_cast<std::uint32_t>((i * 9973) % 1'018'080);
+    r.size_bytes = 1024u << (i % 5);
+    r.is_write = static_cast<std::uint8_t>(i % 3 == 0);
+    r.outstanding = static_cast<std::uint16_t>(i % 7);
+    ts.add(r);
+  }
+  ts.set_duration(sec(1));
+  return ts;
+}
+
+std::string encode(const trace::TraceSet& ts, EsstMeta meta = {}) {
+  std::stringstream ss;
+  write_esst(ts, ss, meta);
+  return ss.str();
+}
+
+TEST(EsstFormat, Crc32MatchesKnownVector) {
+  // The IEEE polynomial's canonical check value.
+  EXPECT_EQ(crc32("123456789", 9), 0xcbf43926u);
+  // Chaining partial blocks equals one pass.
+  const std::uint32_t part = crc32("12345", 5);
+  EXPECT_EQ(crc32("6789", 4, part), 0xcbf43926u);
+}
+
+TEST(EsstFormat, RoundTripIdenticalRecords) {
+  const auto original = sample();
+  std::stringstream ss(encode(original));
+  const auto restored = read_esst(ss);
+  EXPECT_EQ(restored.experiment(), "esst-roundtrip");
+  EXPECT_EQ(restored.node_id(), 3);
+  EXPECT_EQ(restored.duration(), original.duration());
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored.records()[i], original.records()[i]);
+  }
+}
+
+TEST(EsstFormat, EmptyTraceRoundTrips) {
+  trace::TraceSet ts("empty", 0);
+  std::stringstream ss(encode(ts));
+  std::stringstream in(ss.str());
+  EsstReader reader(in);
+  EXPECT_FALSE(reader.salvaged());
+  EXPECT_EQ(reader.total_records(), 0u);
+  EXPECT_TRUE(reader.read_all().empty());
+}
+
+TEST(EsstFormat, MetaFieldsSurviveTheHeader) {
+  EsstMeta meta;
+  meta.experiment = "geometry-check";
+  meta.node_id = 12;
+  meta.total_sectors = 2'036'160;
+  meta.sector_bytes = 4096;
+  meta.records_per_chunk = 1234;
+  meta.seed = 0xdeadbeefcafe;
+  meta.ram_bytes = 64ull * 1024 * 1024;
+  std::stringstream ss(encode(sample(10), meta));
+  EsstReader reader(ss);
+  EXPECT_EQ(reader.meta().experiment, "geometry-check");
+  EXPECT_EQ(reader.meta().node_id, 12);
+  EXPECT_EQ(reader.meta().total_sectors, 2'036'160u);
+  EXPECT_EQ(reader.meta().sector_bytes, 4096u);
+  EXPECT_EQ(reader.meta().records_per_chunk, 1234u);
+  EXPECT_EQ(reader.meta().seed, 0xdeadbeefcafeull);
+  EXPECT_EQ(reader.meta().ram_bytes, 64ull * 1024 * 1024);
+}
+
+TEST(EsstFormat, NonMonotonicTimestampsSurviveZigzag) {
+  // Deltas may be negative (multi-node merges, clock rebases); the
+  // signed-varint encoding must not care.
+  trace::TraceSet ts("zigzag", 0);
+  const SimTime stamps[] = {500, 100, 900, 899, 0, 1'000'000};
+  for (SimTime t : stamps) {
+    trace::Record r;
+    r.timestamp = t;
+    r.sector = 777;
+    r.size_bytes = 1024;
+    ts.add(r);
+  }
+  std::stringstream ss(encode(ts));
+  const auto restored = read_esst(ss);
+  ASSERT_EQ(restored.size(), ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(restored.records()[i].timestamp, ts.records()[i].timestamp);
+  }
+}
+
+TEST(EsstFormat, MultiChunkLayoutAndIndex) {
+  EsstMeta meta;
+  meta.records_per_chunk = 16;
+  const auto original = sample(100);
+  std::stringstream ss(encode(original, meta));
+  EsstReader reader(ss);
+  EXPECT_FALSE(reader.salvaged());
+  ASSERT_EQ(reader.chunks().size(), 7u);  // ceil(100 / 16)
+  EXPECT_EQ(reader.total_records(), 100u);
+  std::uint32_t seen = 0;
+  for (std::size_t i = 0; i < reader.chunks().size(); ++i) {
+    const auto& c = reader.chunks()[i];
+    const auto records = reader.read_chunk(i);
+    ASSERT_EQ(records.size(), c.records);
+    // Index ranges must describe the chunk contents exactly.
+    for (const auto& r : records) {
+      EXPECT_GE(r.timestamp, c.ts_first);
+      EXPECT_LE(r.timestamp, c.ts_last);
+      EXPECT_GE(r.sector, c.sector_min);
+      EXPECT_LE(r.sector, c.sector_max);
+      EXPECT_EQ(r, original.records()[seen]);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 100u);
+}
+
+TEST(EsstFormat, TruncatedFileSalvagesWholeChunks) {
+  EsstMeta meta;
+  meta.records_per_chunk = 16;
+  const auto original = sample(100);
+  std::string data = encode(original, meta);
+  // Cut mid-file: the index is gone and some chunk is torn.
+  data.resize(data.size() * 3 / 5);
+  std::stringstream cut(data);
+  EsstReader reader(cut);
+  EXPECT_TRUE(reader.salvaged());
+  const auto restored = reader.read_all();
+  EXPECT_GT(restored.size(), 0u);
+  EXPECT_LT(restored.size(), original.size());
+  EXPECT_EQ(restored.size() % 16, 0u);  // only whole chunks survive
+  for (std::size_t i = 0; i < restored.size(); ++i) {
+    EXPECT_EQ(restored.records()[i], original.records()[i]);
+  }
+}
+
+TEST(EsstFormat, TruncationJustAfterLastChunkLosesOnlyTheIndex) {
+  EsstMeta meta;
+  meta.records_per_chunk = 16;
+  const auto original = sample(64);
+  std::string data = encode(original, meta);
+  // Find where the index starts by reading the intact file first.
+  std::stringstream whole(data);
+  EsstReader intact(whole);
+  const auto& last = intact.chunks().back();
+  std::stringstream probe(data);
+  probe.seekg(static_cast<std::streamoff>(last.offset) + 4);
+  std::uint32_t payload_bytes = 0;
+  probe.read(reinterpret_cast<char*>(&payload_bytes), 4);
+  const std::uint64_t index_at = last.offset + 8 + payload_bytes + 28;
+  data.resize(index_at);
+
+  std::stringstream cut(data);
+  EsstReader reader(cut);
+  EXPECT_TRUE(reader.salvaged());
+  EXPECT_EQ(reader.corrupt_chunks(), 0u);
+  const auto restored = reader.read_all();
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored.records()[i], original.records()[i]);
+  }
+}
+
+TEST(EsstFormat, CorruptChunkIsSkippedByCrc) {
+  EsstMeta meta;
+  meta.records_per_chunk = 16;
+  const auto original = sample(100);
+  std::string data = encode(original, meta);
+  std::stringstream whole(data);
+  EsstReader intact(whole);
+  ASSERT_GE(intact.chunks().size(), 3u);
+  // Flip a payload byte inside chunk 1 (offset + framing header + 2).
+  const std::uint64_t at = intact.chunks()[1].offset + 8 + 2;
+  data[static_cast<std::size_t>(at)] ^= 0x5a;
+
+  std::stringstream damaged(data);
+  EsstReader reader(damaged);
+  // The trailing index is still intact, so no salvage scan...
+  EXPECT_FALSE(reader.salvaged());
+  // ...but decoding chunk 1 fails its CRC,
+  EXPECT_THROW(reader.read_chunk(1), std::runtime_error);
+  // and read_all() drops exactly that chunk.
+  const auto restored = reader.read_all();
+  EXPECT_EQ(reader.corrupt_chunks(), 1u);
+  EXPECT_EQ(restored.size(), original.size() - 16);
+}
+
+TEST(EsstFormat, CorruptIndexFallsBackToScan) {
+  const auto original = sample(50);
+  std::string data = encode(original);
+  data[data.size() - 1] ^= 0xff;  // break the trailer magic
+  std::stringstream damaged(data);
+  EsstReader reader(damaged);
+  EXPECT_TRUE(reader.salvaged());
+  const auto restored = reader.read_all();
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored.records()[i], original.records()[i]);
+  }
+}
+
+TEST(EsstFormat, BadHeaderThrows) {
+  std::stringstream bad1("not an esst file at all, nowhere near long enough");
+  EXPECT_THROW(EsstReader r(bad1), std::runtime_error);
+
+  std::string data = encode(sample(10));
+  data[3] ^= 0x01;  // damage the magic
+  std::stringstream bad2(data);
+  EXPECT_THROW(EsstReader r(bad2), std::runtime_error);
+
+  std::string data2 = encode(sample(10));
+  data2[40] ^= 0x01;  // damage a header field: header CRC must catch it
+  std::stringstream bad3(data2);
+  EXPECT_THROW(EsstReader r(bad3), std::runtime_error);
+}
+
+TEST(EsstFormat, IsEsstSniffsAndRestoresPosition) {
+  std::stringstream esst(encode(sample(5)));
+  EXPECT_TRUE(is_esst(esst));
+  EXPECT_EQ(esst.tellg(), std::streampos(0));
+
+  std::stringstream csv("timestamp_us,sector,size_bytes,is_write,outstanding\n");
+  EXPECT_FALSE(is_esst(csv));
+}
+
+TEST(EsstFormat, FilteredReadSkipsChunksViaIndex) {
+  // 10 chunks of 10 records, timestamps 0..99 s, so chunk k covers
+  // [10k, 10k+9] seconds.
+  trace::TraceSet ts("filter", 0);
+  for (int i = 0; i < 100; ++i) {
+    trace::Record r;
+    r.timestamp = sec(static_cast<std::uint64_t>(i));
+    r.sector = static_cast<std::uint32_t>(1000 + i);
+    r.size_bytes = 1024;
+    r.is_write = static_cast<std::uint8_t>(i % 2);
+    ts.add(r);
+  }
+  ts.set_duration(sec(100));
+  EsstMeta meta;
+  meta.records_per_chunk = 10;
+  std::stringstream ss(encode(ts, meta));
+  EsstReader reader(ss);
+  ASSERT_EQ(reader.chunks().size(), 10u);
+
+  EsstReader::Filter f;
+  f.ts_min = sec(34);
+  f.ts_max = sec(47);
+  std::size_t skipped = 0;
+  const auto kept = reader.read_filtered(f, &skipped);
+  EXPECT_EQ(kept.size(), 14u);  // t = 34..47 inclusive
+  EXPECT_EQ(skipped, 8u);       // only chunks 3 and 4 decoded
+  for (const auto& r : kept.records()) {
+    EXPECT_GE(r.timestamp, f.ts_min);
+    EXPECT_LE(r.timestamp, f.ts_max);
+  }
+
+  EsstReader::Filter writes_only;
+  writes_only.rw = 1;
+  const auto writes = reader.read_filtered(writes_only);
+  EXPECT_EQ(writes.size(), 50u);
+  for (const auto& r : writes.records()) EXPECT_EQ(r.is_write, 1);
+
+  EsstReader::Filter sectors;
+  sectors.sector_min = 1000;
+  sectors.sector_max = 1009;
+  std::size_t sector_skipped = 0;
+  const auto low = reader.read_filtered(sectors, &sector_skipped);
+  EXPECT_EQ(low.size(), 10u);
+  EXPECT_EQ(sector_skipped, 9u);  // sector ranges track chunks here
+}
+
+TEST(EsstFormat, FileSinkStreamsARunShapedCapture) {
+  const std::string path = ::testing::TempDir() + "/esst_sink_test.esst";
+  EsstMeta meta;
+  meta.experiment = "sink";
+  meta.node_id = 1;
+  meta.records_per_chunk = 32;
+  const auto original = sample(200);
+  {
+    EsstFileSink sink(path, meta);
+    for (const auto& r : original.records()) sink.on_record(r);
+    sink.on_finish(original.duration());
+    EXPECT_EQ(sink.records_written(), original.size());
+  }
+  const auto restored = read_esst_file(path);
+  EXPECT_EQ(restored.experiment(), "sink");
+  EXPECT_EQ(restored.duration(), original.duration());
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored.records()[i], original.records()[i]);
+  }
+}
+
+TEST(EsstFormat, WriterWithoutFinishStillYieldsReadableFile) {
+  // Destructor-finishes: duration falls back to the span of records seen.
+  std::stringstream ss;
+  const auto original = sample(40);
+  {
+    EsstWriter w(ss, EsstMeta{});
+    for (const auto& r : original.records()) w.append(r);
+  }
+  std::stringstream in(ss.str());
+  EsstReader reader(in);
+  EXPECT_FALSE(reader.salvaged());
+  EXPECT_EQ(reader.total_records(), 40u);
+  EXPECT_EQ(reader.duration(), original.records().back().timestamp);
+}
+
+TEST(EsstFormat, DenseTraceCompressesWellBelowCsv) {
+  // Run-shaped trace: ~1 s cadence, a few hot sectors, 1 KB writes — the
+  // baseline profile. ESST must come in at <= 40% of the CSV bytes.
+  trace::TraceSet ts("compression", 0);
+  const std::uint32_t hot[] = {45'000, 99'184, 16'900, 204'280};
+  for (int i = 0; i < 2000; ++i) {
+    trace::Record r;
+    r.timestamp = sec(static_cast<std::uint64_t>(i)) + (i % 997) * 131;
+    r.sector = hot[i % 4] + static_cast<std::uint32_t>(i % 16) * 2;
+    r.size_bytes = (i % 10 == 0) ? 4096 : 1024;
+    r.is_write = static_cast<std::uint8_t>(i % 20 != 0);
+    r.outstanding = static_cast<std::uint16_t>(i % 3);
+    ts.add(r);
+  }
+  ts.set_duration(sec(2000));
+
+  std::stringstream csv;
+  trace::write_csv(ts, csv);
+  const auto esst = encode(ts);
+  EXPECT_LE(esst.size(), csv.str().size() * 2 / 5)
+      << "ESST " << esst.size() << " bytes vs CSV " << csv.str().size();
+
+  std::stringstream in(esst);
+  const auto restored = read_esst(in);
+  ASSERT_EQ(restored.size(), ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(restored.records()[i], ts.records()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ess::telemetry

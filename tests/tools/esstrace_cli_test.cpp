@@ -1,0 +1,212 @@
+// Drives the esstrace command implementations (tools/esstrace/commands.cpp)
+// directly with temp files — the same code paths the binary's main() calls.
+#include "commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/esst.hpp"
+#include "trace/io.hpp"
+
+namespace ess::esstrace {
+namespace {
+
+trace::TraceSet sample(std::size_t n = 120) {
+  trace::TraceSet ts("cli-sample", 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    trace::Record r;
+    r.timestamp = sec(static_cast<std::uint64_t>(i));
+    r.sector = static_cast<std::uint32_t>(40'000 + (i % 10) * 5000);
+    r.size_bytes = (i % 4 == 0) ? 4096 : 1024;
+    r.is_write = static_cast<std::uint8_t>(i % 5 != 0);
+    r.outstanding = static_cast<std::uint16_t>(i % 3);
+    ts.add(r);
+  }
+  // CSV carries no duration field (readers fall back to the record span),
+  // so keep the authored duration equal to the span for cross-format tests.
+  ts.set_duration(sec(n - 1));
+  return ts;
+}
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+class EsstraceCli : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    csv_ = tmp_path("cli_in.csv");
+    esst_ = tmp_path("cli_in.esst");
+    trace::write_csv_file(sample(), csv_);
+    telemetry::write_esst_file(sample(), esst_);
+  }
+  void TearDown() override {
+    std::remove(csv_.c_str());
+    std::remove(esst_.c_str());
+  }
+
+  std::string csv_;
+  std::string esst_;
+};
+
+TEST_F(EsstraceCli, SniffsByMagicNotExtension) {
+  EXPECT_EQ(sniff_format(esst_), TraceFormat::kEsst);
+  EXPECT_EQ(sniff_format(csv_), TraceFormat::kCsv);
+  const auto bin = tmp_path("cli_in_misnamed.csv");
+  trace::write_binary_file(sample(), bin);
+  EXPECT_EQ(sniff_format(bin), TraceFormat::kLegacyBinary);
+  EXPECT_EQ(format_for_extension(bin), TraceFormat::kCsv);  // name lies
+  std::remove(bin.c_str());
+}
+
+TEST_F(EsstraceCli, LoadAnyReadsEveryFormat) {
+  const auto bin = tmp_path("cli_in.bin");
+  trace::write_binary_file(sample(), bin);
+  for (const auto& path : {csv_, esst_, bin}) {
+    const auto ts = load_any(path);
+    EXPECT_EQ(ts.size(), sample().size()) << path;
+  }
+  std::remove(bin.c_str());
+}
+
+TEST_F(EsstraceCli, CatEmitsTheSameCsvForBothFormats) {
+  std::ostringstream from_csv, from_esst, err;
+  EXPECT_EQ(cmd_cat(csv_, from_csv, err), 0);
+  EXPECT_EQ(cmd_cat(esst_, from_esst, err), 0);
+  EXPECT_EQ(from_csv.str(), from_esst.str());
+  EXPECT_EQ(from_csv.str(), slurp(csv_));
+}
+
+TEST_F(EsstraceCli, ConvertRoundTripsCsvByteIdentically) {
+  const auto mid = tmp_path("cli_mid.esst");
+  const auto back = tmp_path("cli_back.csv");
+  std::ostringstream out, err;
+  ASSERT_EQ(cmd_convert(csv_, mid, out, err), 0) << err.str();
+  ASSERT_EQ(cmd_convert(mid, back, out, err), 0) << err.str();
+  EXPECT_EQ(slurp(back), slurp(csv_));
+  EXPECT_NE(out.str().find("120 records"), std::string::npos);
+  std::remove(mid.c_str());
+  std::remove(back.c_str());
+}
+
+TEST_F(EsstraceCli, InfoPrintsHeaderAndChunkIndex) {
+  std::ostringstream out, err;
+  ASSERT_EQ(cmd_info(esst_, out, err), 0) << err.str();
+  const auto text = out.str();
+  EXPECT_NE(text.find("cli-sample"), std::string::npos);
+  EXPECT_NE(text.find("records         120"), std::string::npos);
+  EXPECT_NE(text.find("index           ok"), std::string::npos);
+  EXPECT_NE(text.find("chunks"), std::string::npos);
+}
+
+TEST_F(EsstraceCli, InfoRejectsNonEsstInput) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cmd_info(csv_, out, err), 2);
+  EXPECT_NE(err.str().find("not an ESST file"), std::string::npos);
+}
+
+TEST_F(EsstraceCli, MissingFileFailsWithExitCode2) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cmd_cat(tmp_path("no_such_file.esst"), out, err), 2);
+  EXPECT_FALSE(err.str().empty());
+}
+
+TEST_F(EsstraceCli, FilterPrunesChunksThroughTheIndex) {
+  // Multi-chunk input so time-range pruning has chunks to skip.
+  const auto chunked = tmp_path("cli_chunked.esst");
+  telemetry::EsstMeta meta;
+  meta.records_per_chunk = 16;
+  telemetry::write_esst_file(sample(), chunked, meta);
+
+  const auto out_path = tmp_path("cli_filtered.esst");
+  telemetry::EsstReader::Filter f;
+  f.ts_min = sec(32);
+  f.ts_max = sec(47);
+  std::ostringstream out, err;
+  ASSERT_EQ(cmd_filter(chunked, out_path, f, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("kept 16 records"), std::string::npos);
+  EXPECT_NE(out.str().find("index pruned"), std::string::npos);
+
+  const auto kept = telemetry::read_esst_file(out_path);
+  EXPECT_EQ(kept.size(), 16u);
+  for (const auto& r : kept.records()) {
+    EXPECT_GE(r.timestamp, f.ts_min);
+    EXPECT_LE(r.timestamp, f.ts_max);
+  }
+  std::remove(chunked.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST_F(EsstraceCli, FilterByRwOnCsvInput) {
+  const auto out_path = tmp_path("cli_reads.csv");
+  telemetry::EsstReader::Filter f;
+  f.rw = 0;
+  std::ostringstream out, err;
+  ASSERT_EQ(cmd_filter(csv_, out_path, f, out, err), 0) << err.str();
+  const auto kept = trace::read_csv_file(out_path);
+  EXPECT_EQ(kept.size(), 24u);  // every fifth of 120 records is a read
+  for (const auto& r : kept.records()) EXPECT_EQ(r.is_write, 0);
+  std::remove(out_path.c_str());
+}
+
+TEST_F(EsstraceCli, StatsAgreeAcrossFormatsOfTheSameTrace) {
+  std::ostringstream a, b, err;
+  ASSERT_EQ(cmd_stats(csv_, a, err), 0) << err.str();
+  ASSERT_EQ(cmd_stats(esst_, b, err), 0) << err.str();
+  // Identical records => identical characterization text below the
+  // experiment-name line (CSV input has no embedded name).
+  const auto tail = [](const std::string& s) {
+    return s.substr(s.find('\n') + 1);
+  };
+  EXPECT_EQ(tail(a.str()), tail(b.str()));
+  EXPECT_NE(a.str().find("reads / writes  24 / 96"), std::string::npos);
+  EXPECT_NE(a.str().find("hot sectors"), std::string::npos);
+}
+
+TEST_F(EsstraceCli, DiffExitCodesGateOnTolerance) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cmd_diff(csv_, esst_, {}, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("OK"), std::string::npos);
+
+  // A trace with the mix inverted must fail the default tolerances.
+  auto shifted = sample();
+  trace::TraceSet inverted("cli-sample", 2);
+  for (auto r : shifted.records()) {
+    r.is_write = static_cast<std::uint8_t>(1 - r.is_write);
+    inverted.add(r);
+  }
+  inverted.set_duration(shifted.duration());
+  const auto bad = tmp_path("cli_inverted.esst");
+  telemetry::write_esst_file(inverted, bad);
+  std::ostringstream out2;
+  EXPECT_EQ(cmd_diff(csv_, bad, {}, out2, err), 1);
+  EXPECT_NE(out2.str().find("FAIL"), std::string::npos);
+
+  // ...and pass when the caller loosens them far enough.
+  telemetry::DiffTolerance loose;
+  loose.pct_points = 100.0;
+  loose.scalar_rel = 10.0;
+  loose.topk_min_overlap = 0.0;
+  std::ostringstream out3;
+  EXPECT_EQ(cmd_diff(csv_, bad, loose, out3, err), 0);
+  std::remove(bad.c_str());
+}
+
+TEST_F(EsstraceCli, DiffReportsMissingInputAsError) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cmd_diff(csv_, tmp_path("gone.esst"), {}, out, err), 2);
+}
+
+}  // namespace
+}  // namespace ess::esstrace

@@ -85,5 +85,106 @@ TEST(TraceIo, EmptyTraceRoundTrips) {
   EXPECT_EQ(restored.node_id(), -1);
 }
 
+TEST(TraceIo, CsvRoundTrip) {
+  const TraceSet original = sample();
+  std::stringstream ss;
+  write_csv(original, ss);
+  CsvReadStats stats;
+  const TraceSet restored = read_csv(ss, &stats);
+  EXPECT_TRUE(stats.had_header);
+  EXPECT_EQ(stats.rows, original.size());
+  EXPECT_EQ(stats.skipped, 0u);
+  ASSERT_EQ(restored.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored.records()[i], original.records()[i]);
+  }
+}
+
+TEST(TraceIo, CsvEmptyInputIsAnEmptyTraceNotAnError) {
+  std::stringstream empty;
+  CsvReadStats stats;
+  const TraceSet ts = read_csv(empty, &stats);
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(stats.rows, 0u);
+  EXPECT_EQ(stats.skipped, 0u);
+  EXPECT_FALSE(stats.had_header);
+}
+
+TEST(TraceIo, CsvHeaderOnlyIsAnEmptyTrace) {
+  std::stringstream ss("timestamp_us,sector,size_bytes,is_write,outstanding\n");
+  CsvReadStats stats;
+  const TraceSet ts = read_csv(ss, &stats);
+  EXPECT_TRUE(ts.empty());
+  EXPECT_TRUE(stats.had_header);
+  EXPECT_EQ(stats.skipped, 0u);
+}
+
+TEST(TraceIo, CsvSkipsBlankLinesAndComments) {
+  std::stringstream ss(
+      "# captured by esstrace\n"
+      "\n"
+      "timestamp_us,sector,size_bytes,is_write,outstanding\n"
+      "100,7,1024,0,0\n"
+      "\n"
+      "# mid-file note\n"
+      "200,8,2048,1,1\n");
+  CsvReadStats stats;
+  const TraceSet ts = read_csv(ss, &stats);
+  EXPECT_TRUE(stats.had_header);
+  EXPECT_EQ(stats.rows, 2u);
+  EXPECT_EQ(stats.skipped, 0u);
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.records()[0].sector, 7u);
+  EXPECT_EQ(ts.records()[1].size_bytes, 2048u);
+}
+
+TEST(TraceIo, CsvCountsMalformedRowsWithoutDroppingGoodOnes) {
+  std::stringstream ss(
+      "timestamp_us,sector,size_bytes,is_write,outstanding\n"
+      "100,7,1024,0,0\n"
+      "not,numbers,at,all,here\n"       // non-numeric fields
+      "200,8\n"                         // too few columns
+      "300,9,1024,1,2,extra\n"          // too many columns
+      "400,4294967296,1024,0,0\n"       // sector overflows u32
+      "500,10,1024,2,0\n"               // is_write out of range
+      "600,11,1024,-1,0\n"              // signs rejected
+      "700,12,4096,1,3\n");
+  CsvReadStats stats;
+  const TraceSet ts = read_csv(ss, &stats);
+  EXPECT_TRUE(stats.had_header);
+  EXPECT_EQ(stats.rows, 2u);
+  EXPECT_EQ(stats.skipped, 6u);
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.records()[0].timestamp, 100u);
+  EXPECT_EQ(ts.records()[1].timestamp, 700u);
+  EXPECT_EQ(ts.records()[1].is_write, 1);
+}
+
+TEST(TraceIo, CsvHandlesCrLfLineEndings) {
+  std::stringstream ss(
+      "timestamp_us,sector,size_bytes,is_write,outstanding\r\n"
+      "100,7,1024,0,0\r\n");
+  CsvReadStats stats;
+  const TraceSet ts = read_csv(ss, &stats);
+  EXPECT_EQ(stats.rows, 1u);
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts.records()[0].sector, 7u);
+}
+
+TEST(TraceIo, CsvHeaderlessDataLosesOnlyTheFirstLineAtWorst) {
+  // Headerless data: every row parses, nothing is mistaken for a header.
+  std::stringstream ss("100,7,1024,0,0\n200,8,2048,1,1\n");
+  CsvReadStats stats;
+  const TraceSet ts = read_csv(ss, &stats);
+  EXPECT_FALSE(stats.had_header);
+  EXPECT_EQ(stats.rows, 2u);
+  EXPECT_EQ(ts.size(), 2u);
+}
+
+TEST(TraceIo, CsvFileMissingThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/dir/trace.csv"),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace ess::trace

@@ -1,0 +1,267 @@
+#include "commands.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "trace/io.hpp"
+
+namespace ess::esstrace {
+namespace {
+
+std::string lower_ext(const std::string& path) {
+  const auto dot = path.rfind('.');
+  if (dot == std::string::npos) return {};
+  std::string ext = path.substr(dot + 1);
+  for (auto& c : ext) c = static_cast<char>(std::tolower(c));
+  return ext;
+}
+
+std::uint64_t file_size(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  const auto pos = f.tellg();
+  return pos < 0 ? 0 : static_cast<std::uint64_t>(pos);
+}
+
+template <typename... Args>
+void put(std::ostream& os, const char* fmt, Args... args) {
+  char line[192];
+  std::snprintf(line, sizeof line, fmt, args...);
+  os << line;
+}
+
+void render_result(const telemetry::StreamSummary::Result& r,
+                   std::ostream& out) {
+  put(out, "experiment      %s\n",
+      r.experiment.empty() ? "(unnamed)" : r.experiment.c_str());
+  put(out, "records         %llu\n",
+      static_cast<unsigned long long>(r.records));
+  put(out, "duration        %.1f s\n", r.duration_sec);
+  put(out, "rate            %.3f req/s\n", r.requests_per_sec);
+  put(out, "reads / writes  %llu / %llu  (%.1f%% / %.1f%%)\n",
+      static_cast<unsigned long long>(r.reads),
+      static_cast<unsigned long long>(r.writes), r.read_pct, r.write_pct);
+  put(out, "max request     %u bytes\n", r.max_request_bytes);
+  out << "request sizes:\n";
+  for (const auto& [size, pct] : r.size_pct) {
+    put(out, "  %8lld B  %6.2f%%\n", static_cast<long long>(size), pct);
+  }
+  out << "sector bands (per 100K sectors):\n";
+  for (const auto& [band, pct] : r.band_pct) {
+    put(out, "  %8llu+  %6.2f%%\n", static_cast<unsigned long long>(band),
+        pct);
+  }
+  put(out, "hot sectors (top %zu%s):\n", r.hot.size(),
+      r.hot_exact ? "" : ", approximate");
+  for (const auto& h : r.hot) {
+    put(out, "  sector %8llu  x%-8llu %.4f/s\n",
+        static_cast<unsigned long long>(h.sector),
+        static_cast<unsigned long long>(h.count), h.per_sec);
+  }
+}
+
+}  // namespace
+
+TraceFormat sniff_format(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("esstrace: cannot open " + path);
+  char magic[8] = {};
+  f.read(magic, sizeof magic);
+  if (f.gcount() == 8) {
+    if (std::memcmp(magic, "ESST0001", 8) == 0) return TraceFormat::kEsst;
+    if (std::memcmp(magic, "ESSTRC01", 8) == 0) {
+      return TraceFormat::kLegacyBinary;
+    }
+  }
+  return TraceFormat::kCsv;
+}
+
+TraceFormat format_for_extension(const std::string& path) {
+  const auto ext = lower_ext(path);
+  if (ext == "esst") return TraceFormat::kEsst;
+  if (ext == "bin") return TraceFormat::kLegacyBinary;
+  return TraceFormat::kCsv;
+}
+
+trace::TraceSet load_any(const std::string& path) {
+  switch (sniff_format(path)) {
+    case TraceFormat::kEsst:
+      return telemetry::read_esst_file(path);
+    case TraceFormat::kLegacyBinary:
+      return trace::read_binary_file(path);
+    case TraceFormat::kCsv:
+      return trace::read_csv_file(path);
+  }
+  throw std::logic_error("unreachable");
+}
+
+void save_as(const trace::TraceSet& ts, const std::string& path) {
+  switch (format_for_extension(path)) {
+    case TraceFormat::kEsst:
+      telemetry::write_esst_file(ts, path);
+      return;
+    case TraceFormat::kLegacyBinary:
+      trace::write_binary_file(ts, path);
+      return;
+    case TraceFormat::kCsv:
+      trace::write_csv_file(ts, path);
+      return;
+  }
+}
+
+int cmd_info(const std::string& path, std::ostream& out, std::ostream& err) {
+  if (sniff_format(path) != TraceFormat::kEsst) {
+    err << "esstrace info: " << path << " is not an ESST file\n";
+    return 2;
+  }
+  std::ifstream f(path, std::ios::binary);
+  telemetry::EsstReader reader(f);
+  const auto& m = reader.meta();
+  const std::uint64_t records = reader.total_records();
+  const std::uint64_t bytes = file_size(path);
+  put(out, "file            %s  (%llu bytes)\n", path.c_str(),
+      static_cast<unsigned long long>(bytes));
+  put(out, "experiment      %s   node %d\n",
+      m.experiment.empty() ? "(unnamed)" : m.experiment.c_str(), m.node_id);
+  put(out, "geometry        %llu sectors x %u B\n",
+      static_cast<unsigned long long>(m.total_sectors), m.sector_bytes);
+  put(out, "sim params      seed=0x%llx  ram=%llu MB\n",
+      static_cast<unsigned long long>(m.seed),
+      static_cast<unsigned long long>(m.ram_bytes / (1024 * 1024)));
+  put(out, "duration        %.1f s\n", to_seconds(reader.duration()));
+  put(out, "records         %llu  (%.1f bytes/record)\n",
+      static_cast<unsigned long long>(records),
+      records > 0 ? static_cast<double>(bytes) / static_cast<double>(records)
+                  : 0.0);
+  put(out, "chunks          %zu  (%u records/chunk max)\n",
+      reader.chunks().size(), m.records_per_chunk);
+  if (reader.salvaged()) {
+    put(out, "index           MISSING/BAD — rebuilt by scan, %zu corrupt "
+             "chunk(s) dropped\n",
+        reader.corrupt_chunks());
+  } else {
+    out << "index           ok\n";
+  }
+  out << "  chunk     offset   records        t_first..t_last      "
+         "sectors\n";
+  for (std::size_t i = 0; i < reader.chunks().size(); ++i) {
+    const auto& c = reader.chunks()[i];
+    put(out, "  %5zu %10llu %9u %12.1fs..%.1fs  %u..%u\n", i,
+        static_cast<unsigned long long>(c.offset), c.records,
+        to_seconds(c.ts_first), to_seconds(c.ts_last), c.sector_min,
+        c.sector_max);
+  }
+  return 0;
+}
+
+int cmd_cat(const std::string& path, std::ostream& out, std::ostream& err) {
+  try {
+    trace::write_csv(load_any(path), out);
+  } catch (const std::runtime_error& e) {
+    err << "esstrace cat: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_convert(const std::string& in, const std::string& out_path,
+                std::ostream& out, std::ostream& err) {
+  try {
+    const auto ts = load_any(in);
+    save_as(ts, out_path);
+    put(out, "%s -> %s: %zu records, %llu -> %llu bytes\n", in.c_str(),
+        out_path.c_str(), ts.size(),
+        static_cast<unsigned long long>(file_size(in)),
+        static_cast<unsigned long long>(file_size(out_path)));
+  } catch (const std::runtime_error& e) {
+    err << "esstrace convert: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_filter(const std::string& in, const std::string& out_path,
+               const telemetry::EsstReader::Filter& f, std::ostream& out,
+               std::ostream& err) {
+  try {
+    trace::TraceSet kept;
+    std::size_t pruned = 0;
+    std::size_t total_chunks = 0;
+    if (sniff_format(in) == TraceFormat::kEsst) {
+      std::ifstream file(in, std::ios::binary);
+      telemetry::EsstReader reader(file);
+      total_chunks = reader.chunks().size();
+      kept = reader.read_filtered(f, &pruned);
+    } else {
+      const auto ts = load_any(in);
+      kept = trace::TraceSet(ts.experiment(), ts.node_id());
+      for (const auto& r : ts.records()) {
+        if (f.record_matches(r)) kept.add(r);
+      }
+      kept.set_duration(ts.duration());
+    }
+    save_as(kept, out_path);
+    put(out, "%s -> %s: kept %zu records", in.c_str(), out_path.c_str(),
+        kept.size());
+    if (total_chunks > 0) {
+      put(out, "; index pruned %zu/%zu chunks undecoded", pruned,
+          total_chunks);
+    }
+    out << "\n";
+  } catch (const std::runtime_error& e) {
+    err << "esstrace filter: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+telemetry::StreamSummary::Result summarize_file(const std::string& path) {
+  telemetry::StreamSummary summary;
+  std::string name;
+  if (sniff_format(path) == TraceFormat::kEsst) {
+    // True streaming: one chunk resident at a time.
+    std::ifstream file(path, std::ios::binary);
+    telemetry::EsstReader reader(file);
+    name = reader.meta().experiment;
+    for (std::size_t i = 0; i < reader.chunks().size(); ++i) {
+      for (const auto& r : reader.read_chunk(i)) summary.on_record(r);
+    }
+    summary.on_finish(reader.duration());
+  } else {
+    const auto ts = load_any(path);
+    name = ts.experiment();
+    for (const auto& r : ts.records()) summary.on_record(r);
+    summary.on_finish(ts.duration());
+  }
+  return summary.result(name.empty() ? path : name);
+}
+
+int cmd_stats(const std::string& path, std::ostream& out, std::ostream& err) {
+  try {
+    render_result(summarize_file(path), out);
+  } catch (const std::runtime_error& e) {
+    err << "esstrace stats: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_diff(const std::string& a, const std::string& b,
+             const telemetry::DiffTolerance& tol, std::ostream& out,
+             std::ostream& err) {
+  try {
+    const auto ra = summarize_file(a);
+    const auto rb = summarize_file(b);
+    const auto d = telemetry::diff_summaries(ra, rb, tol);
+    out << render_diff(d);
+    return d.ok ? 0 : 1;
+  } catch (const std::runtime_error& e) {
+    err << "esstrace diff: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace ess::esstrace

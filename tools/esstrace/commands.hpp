@@ -1,0 +1,63 @@
+// esstrace: command implementations.
+//
+// The CLI entry point (main.cpp) only parses argv; everything below is
+// plain library code over telemetry/ + trace/, so tests drive the commands
+// directly with temp files and an ostringstream.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/diff.hpp"
+#include "telemetry/esst.hpp"
+#include "trace/trace_set.hpp"
+
+namespace ess::esstrace {
+
+enum class TraceFormat { kEsst, kLegacyBinary, kCsv };
+
+/// Identify a file's format by its magic ("ESST0001", "ESSTRC01"), not its
+/// name; anything else is treated as CSV.
+TraceFormat sniff_format(const std::string& path);
+
+/// Pick an output format from the extension: .esst, .bin (legacy flat
+/// binary), anything else CSV.
+TraceFormat format_for_extension(const std::string& path);
+
+/// Load a trace in any supported format (sniffed).
+trace::TraceSet load_any(const std::string& path);
+
+/// Write a trace in the format chosen by `path`'s extension.
+void save_as(const trace::TraceSet& ts, const std::string& path);
+
+/// `info FILE` — header metadata, chunk index, salvage state. ESST only.
+int cmd_info(const std::string& path, std::ostream& out, std::ostream& err);
+
+/// `cat FILE` — any format to CSV on `out`.
+int cmd_cat(const std::string& path, std::ostream& out, std::ostream& err);
+
+/// `convert IN OUT` — read by magic, write by extension.
+int cmd_convert(const std::string& in, const std::string& out_path,
+                std::ostream& out, std::ostream& err);
+
+/// `filter IN OUT` — keep records matching `f`. For ESST input the chunk
+/// index prunes whole chunks without decoding them.
+int cmd_filter(const std::string& in, const std::string& out_path,
+               const telemetry::EsstReader::Filter& f, std::ostream& out,
+               std::ostream& err);
+
+/// `stats FILE` — run the streaming consumers over the trace and print the
+/// characterization (ESST input is decoded chunk by chunk, never fully
+/// resident).
+int cmd_stats(const std::string& path, std::ostream& out, std::ostream& err);
+
+/// `diff A B` — compare two traces' characterizations under tolerances.
+/// Returns 0 when within tolerance, 1 when not.
+int cmd_diff(const std::string& a, const std::string& b,
+             const telemetry::DiffTolerance& tol, std::ostream& out,
+             std::ostream& err);
+
+/// Shared by stats/diff: stream any-format input through a StreamSummary.
+telemetry::StreamSummary::Result summarize_file(const std::string& path);
+
+}  // namespace ess::esstrace

@@ -1,0 +1,130 @@
+// esstrace — inspect, convert, filter, characterize and compare the trace
+// files this reproduction captures.
+//
+//   esstrace info    trace.esst
+//   esstrace cat     trace.esst                  > trace.csv
+//   esstrace convert trace.csv  trace.esst       (formats by extension)
+//   esstrace filter  in.esst out.esst --after 50 --before 120 --writes
+//   esstrace stats   trace.esst
+//   esstrace diff    golden.esst new.esst --pct-tol 2
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "commands.hpp"
+#include "util/sim_time.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+  os << "usage: esstrace <command> [args]\n"
+        "  info    FILE                 header, chunk index, salvage state\n"
+        "  cat     FILE                 any trace format -> CSV on stdout\n"
+        "  convert IN OUT               convert (format from OUT extension:\n"
+        "                               .esst | .bin | .csv)\n"
+        "  filter  IN OUT [options]     keep matching records; ESST chunk\n"
+        "                               index prunes without decoding\n"
+        "          --after S --before S      time range, seconds\n"
+        "          --sector-min N --sector-max N\n"
+        "          --reads | --writes\n"
+        "  stats   FILE                 streaming characterization\n"
+        "  diff    A B [options]        compare characterizations\n"
+        "          --pct-tol P   percentage-point tolerance (default 2)\n"
+        "          --rel-tol R   relative tolerance on scalars (default "
+        "0.05)\n"
+        "          --topk K      hot-sector set size (default 5)\n"
+        "          --overlap F   min top-K overlap fraction (default 0.6)\n";
+  return code;
+}
+
+bool need_value(int argc, char** argv, int& i, const char* flag,
+                std::string& out) {
+  if (i + 1 >= argc) {
+    std::cerr << "esstrace: " << flag << " needs a value\n";
+    return false;
+  }
+  out = argv[++i];
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    return usage(std::cout, 0);
+  }
+
+  std::vector<std::string> paths;
+  ess::telemetry::EsstReader::Filter filter;
+  ess::telemetry::DiffTolerance tol;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (arg == "--after") {
+      if (!need_value(argc, argv, i, "--after", v)) return 2;
+      filter.ts_min = static_cast<ess::SimTime>(std::atof(v.c_str()) * 1e6);
+    } else if (arg == "--before") {
+      if (!need_value(argc, argv, i, "--before", v)) return 2;
+      filter.ts_max = static_cast<ess::SimTime>(std::atof(v.c_str()) * 1e6);
+    } else if (arg == "--sector-min") {
+      if (!need_value(argc, argv, i, "--sector-min", v)) return 2;
+      filter.sector_min = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (arg == "--sector-max") {
+      if (!need_value(argc, argv, i, "--sector-max", v)) return 2;
+      filter.sector_max = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (arg == "--reads") {
+      filter.rw = 0;
+    } else if (arg == "--writes") {
+      filter.rw = 1;
+    } else if (arg == "--pct-tol") {
+      if (!need_value(argc, argv, i, "--pct-tol", v)) return 2;
+      tol.pct_points = std::atof(v.c_str());
+    } else if (arg == "--rel-tol") {
+      if (!need_value(argc, argv, i, "--rel-tol", v)) return 2;
+      tol.scalar_rel = std::atof(v.c_str());
+    } else if (arg == "--topk") {
+      if (!need_value(argc, argv, i, "--topk", v)) return 2;
+      tol.topk = static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr,
+                                                        10));
+    } else if (arg == "--overlap") {
+      if (!need_value(argc, argv, i, "--overlap", v)) return 2;
+      tol.topk_min_overlap = std::atof(v.c_str());
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "esstrace: unknown option " << arg << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  using namespace ess::esstrace;
+  try {
+    if (cmd == "info" && paths.size() == 1) {
+      return cmd_info(paths[0], std::cout, std::cerr);
+    }
+    if (cmd == "cat" && paths.size() == 1) {
+      return cmd_cat(paths[0], std::cout, std::cerr);
+    }
+    if (cmd == "convert" && paths.size() == 2) {
+      return cmd_convert(paths[0], paths[1], std::cout, std::cerr);
+    }
+    if (cmd == "filter" && paths.size() == 2) {
+      return cmd_filter(paths[0], paths[1], filter, std::cout, std::cerr);
+    }
+    if (cmd == "stats" && paths.size() == 1) {
+      return cmd_stats(paths[0], std::cout, std::cerr);
+    }
+    if (cmd == "diff" && paths.size() == 2) {
+      return cmd_diff(paths[0], paths[1], tol, std::cout, std::cerr);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "esstrace: " << e.what() << "\n";
+    return 2;
+  }
+  return usage(std::cerr, 2);
+}
