@@ -40,10 +40,29 @@ void Drive::start_next() {
     return;
   }
   busy_ = true;
-  const Request req = *next;
+  Request req = *next;
   const SimTime start = engine_.now();
-  const SimTime dur = model_.service_time(
+  SimTime dur = model_.service_time(
       req, start, model_.geometry().cylinder_of(head_sector_));
+
+  if (faults_ != nullptr) {
+    const auto outcome = faults_->on_disk_request(
+        req.sector, req.sector_count, req.dir == Dir::kWrite, start);
+    dur += outcome.extra_latency;
+    stats_.fault_delay += outcome.extra_latency;
+    switch (outcome.kind) {
+      case fault::DiskFaultKind::kTransient:
+        req.status = IoStatus::kTransientError;
+        ++stats_.transient_errors;
+        break;
+      case fault::DiskFaultKind::kMedia:
+        req.status = IoStatus::kMediaError;
+        ++stats_.media_errors;
+        break;
+      case fault::DiskFaultKind::kNone:
+        break;
+    }
+  }
 
   stats_.requests++;
   stats_.total_queue_delay += start - req.issue_time;

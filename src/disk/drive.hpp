@@ -13,6 +13,7 @@
 #include "disk/request.hpp"
 #include "disk/scheduler.hpp"
 #include "disk/service_model.hpp"
+#include "fault/fault.hpp"
 #include "sim/engine.hpp"
 
 namespace ess::disk {
@@ -26,6 +27,10 @@ struct DriveStats {
   std::uint64_t merged = 0;       // requests absorbed by queue merging
   SimTime busy_time = 0;
   SimTime total_queue_delay = 0;  // submit -> service start
+  // Injected-fault accounting (zero without a fault injector attached).
+  std::uint64_t transient_errors = 0;
+  std::uint64_t media_errors = 0;
+  SimTime fault_delay = 0;        // latency spikes + stall windows
 };
 
 class Drive {
@@ -49,17 +54,26 @@ class Drive {
   /// Requests queued or in flight.
   std::size_t outstanding() const { return pending_; }
 
+  /// Attach a fault injector (not owned; may be null). Each request's
+  /// service consults it once, at service start: the outcome can add
+  /// latency (spike, whole-drive stall) and/or fail the request, which is
+  /// then reported through Request::status at completion.
+  void set_fault_injector(fault::FaultInjector* fi) { faults_ = fi; }
+  fault::FaultInjector* fault_injector() const { return faults_; }
+
   const DriveStats& stats() const { return stats_; }
   const ServiceModel& model() const { return model_; }
 
   /// The kernel clock at this drive's node.
   SimTime now() const { return engine_.now(); }
+  sim::Engine& engine() { return engine_; }
 
  private:
   void start_next();
 
   sim::Engine& engine_;
   ServiceModel model_;
+  fault::FaultInjector* faults_ = nullptr;
   std::unique_ptr<Scheduler> sched_;
   std::uint32_t max_merge_sectors_;
   // A merged request carries every absorbed submission's callback.

@@ -9,12 +9,21 @@ namespace ess::disk {
 
 enum class Dir : std::uint8_t { kRead = 0, kWrite = 1 };
 
+/// How a request completed. Transient errors may succeed when the driver
+/// re-issues them; media errors are permanent (bad sectors).
+enum class IoStatus : std::uint8_t {
+  kOk = 0,
+  kTransientError = 1,
+  kMediaError = 2,
+};
+
 struct Request {
   std::uint64_t id = 0;
   std::uint64_t sector = 0;       // first LBA
   std::uint32_t sector_count = 0; // number of sectors
   Dir dir = Dir::kRead;
   SimTime issue_time = 0;         // when the driver queued it
+  IoStatus status = IoStatus::kOk;  // set by the drive at completion
 
   std::uint64_t end_sector() const { return sector + sector_count; }
   std::uint64_t bytes() const { return std::uint64_t{sector_count} * 512; }

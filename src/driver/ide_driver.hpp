@@ -4,12 +4,21 @@
 // driver. Every physical request submitted to the drive produces one trace
 // record (timestamp, sector, R/W flag, outstanding count) pushed into the
 // procfs ring buffer, when instrumentation is enabled via ioctl.
+//
+// The driver is also the recovery layer: a request the drive fails with a
+// transient error is re-issued after an exponential backoff, up to the
+// retry policy's bound — the classic ide.c behavior. Media errors (bad
+// sectors) and exhausted retries complete the request with its error
+// status set; the error is counted in DriverStats and, at
+// TraceLevel::kVerbose, recorded in the trace stream (each re-issue emits
+// its own record, as a real instrumented handler would see).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 
 #include "disk/drive.hpp"
+#include "fault/fault.hpp"
 #include "telemetry/sink.hpp"
 #include "trace/ring_buffer.hpp"
 
@@ -20,13 +29,18 @@ namespace ess::driver {
 enum class TraceLevel : std::uint8_t {
   kOff = 0,       // no records
   kStandard = 1,  // one record per physical request (the paper's mode)
-  kVerbose = 2,   // adds a completion record per request
+  kVerbose = 2,   // adds completion + error/re-issue records per request
 };
 
 struct DriverStats {
   std::uint64_t requests_issued = 0;
   std::uint64_t trace_records = 0;
   std::uint64_t max_request_bytes = 0;
+  // Error-path accounting (all zero on a healthy drive).
+  std::uint64_t transient_errors = 0;  // attempts failed retryably
+  std::uint64_t media_errors = 0;      // attempts failed permanently
+  std::uint64_t retries = 0;           // re-issues scheduled
+  std::uint64_t failed_requests = 0;   // completed with an error status
 };
 
 class IdeDriver {
@@ -47,6 +61,10 @@ class IdeDriver {
   void ioctl_set_trace_level(TraceLevel level) { level_ = level; }
   TraceLevel trace_level() const { return level_; }
 
+  /// Bounded-retry policy for transient drive errors.
+  void set_retry_policy(fault::DriverRetryPolicy policy) { retry_ = policy; }
+  const fault::DriverRetryPolicy& retry_policy() const { return retry_; }
+
   /// Live telemetry tap: every record emitted while tracing is on is also
   /// published here, at emission time — streaming consumers see the run in
   /// flight instead of waiting for the ring buffer to be drained and
@@ -58,6 +76,8 @@ class IdeDriver {
   disk::Drive& drive() { return drive_; }
 
  private:
+  void issue(std::uint64_t sector, std::uint32_t sector_count, disk::Dir dir,
+             Completion done, std::uint32_t attempt);
   void emit(std::uint64_t sector, std::uint32_t sector_count, disk::Dir dir,
             std::size_t outstanding);
 
@@ -65,6 +85,7 @@ class IdeDriver {
   trace::RingBuffer* trace_buf_;
   telemetry::Sink* sink_ = nullptr;
   TraceLevel level_ = TraceLevel::kStandard;
+  fault::DriverRetryPolicy retry_;
   DriverStats stats_;
 };
 

@@ -1,0 +1,148 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace ess::fault {
+namespace {
+
+const TimeWindow* window_at(const std::vector<TimeWindow>& ws, SimTime t) {
+  for (const auto& w : ws) {
+    if (w.contains(t)) return &w;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+DiskOutcome FaultInjector::on_disk_request(std::uint64_t sector,
+                                           std::uint32_t count, bool is_write,
+                                           SimTime start) {
+  (void)is_write;
+  DiskOutcome out;
+
+  // Stalls and spikes delay the request whether or not it also errors.
+  if (const auto* w = window_at(plan_.disk.stall_windows, start)) {
+    out.extra_latency += w->end - start;
+    ++stats_.stalled_requests;
+  }
+  if (plan_.disk.latency_spike_rate > 0 &&
+      rng_.chance(plan_.disk.latency_spike_rate)) {
+    out.extra_latency += plan_.disk.latency_spike;
+    ++stats_.latency_spikes;
+  }
+  stats_.injected_delay += out.extra_latency;
+
+  // Permanent damage wins over the transient draw: a bad sector is bad on
+  // every attempt, which is what makes driver retries give up.
+  for (const auto& r : plan_.disk.bad_ranges) {
+    if (r.contains(sector, count)) {
+      out.kind = DiskFaultKind::kMedia;
+      ++stats_.media_errors;
+      return out;
+    }
+  }
+  if (plan_.disk.transient_error_rate > 0 &&
+      rng_.chance(plan_.disk.transient_error_rate)) {
+    out.kind = DiskFaultKind::kTransient;
+    ++stats_.transient_errors;
+  }
+  return out;
+}
+
+bool FaultInjector::drain_stalled(SimTime now) {
+  if (window_at(plan_.kernel.drain_stalls, now) == nullptr) return false;
+  ++stats_.drain_stalls;
+  return true;
+}
+
+std::size_t FaultInjector::drain_batch(SimTime now, std::size_t normal_batch) {
+  if (window_at(plan_.kernel.slow_drains, now) == nullptr) return normal_batch;
+  ++stats_.slow_drains;
+  return std::min(normal_batch, plan_.kernel.slow_drain_batch);
+}
+
+// ---------------------------------------------------------------------------
+
+int FailAfterBuf::overflow(int ch) {
+  if (failed_ || ch == traits_type::eof()) return traits_type::eof();
+  if (remaining_ == 0) {
+    failed_ = true;
+    return traits_type::eof();
+  }
+  --remaining_;
+  ++accepted_;
+  return target_->sputc(static_cast<char>(ch));
+}
+
+std::streamsize FailAfterBuf::xsputn(const char* s, std::streamsize n) {
+  if (failed_) return 0;
+  const auto accept = std::min<std::uint64_t>(
+      remaining_, static_cast<std::uint64_t>(n));
+  const auto put = target_->sputn(s, static_cast<std::streamsize>(accept));
+  accepted_ += static_cast<std::uint64_t>(put);
+  remaining_ -= static_cast<std::uint64_t>(put);
+  if (put < n) failed_ = true;  // short write: the stream is now bad
+  return put;
+}
+
+void truncate_tail(const std::string& path, std::uint64_t bytes_removed) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("fault: cannot open " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  data.resize(data.size() -
+              std::min<std::uint64_t>(bytes_removed, data.size()));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("fault: cannot rewrite " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+void flip_bit(const std::string& path, std::uint64_t byte_offset,
+              unsigned bit) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  if (!f) throw std::runtime_error("fault: cannot open " + path);
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<std::uint64_t>(f.tellg());
+  if (byte_offset >= size) {
+    throw std::out_of_range("fault: flip_bit offset beyond end of file");
+  }
+  f.seekg(static_cast<std::streamoff>(byte_offset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ (1u << (bit & 7u)));
+  f.seekp(static_cast<std::streamoff>(byte_offset));
+  f.write(&c, 1);
+}
+
+CorruptionSummary corrupt_file(const std::string& path, const TraceIoFaults& f,
+                               std::uint64_t seed, std::uint64_t body_begin) {
+  CorruptionSummary sum;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) throw std::runtime_error("fault: cannot open " + path);
+    sum.original_bytes = static_cast<std::uint64_t>(in.tellg());
+  }
+  if (f.truncate_tail_bytes > 0) {
+    sum.truncated_bytes =
+        std::min<std::uint64_t>(f.truncate_tail_bytes, sum.original_bytes);
+    truncate_tail(path, sum.truncated_bytes);
+  }
+  const std::uint64_t size = sum.original_bytes - sum.truncated_bytes;
+  if (f.bitflips > 0 && size > body_begin) {
+    Rng rng(seed);
+    for (std::uint32_t i = 0; i < f.bitflips; ++i) {
+      const std::uint64_t off = body_begin + rng.uniform(size - body_begin);
+      flip_bit(path, off, static_cast<unsigned>(rng.uniform(8)));
+      sum.flipped_offsets.push_back(off);
+    }
+  }
+  return sum;
+}
+
+}  // namespace ess::fault

@@ -1,0 +1,233 @@
+// Deterministic fault injection for the trace pipeline.
+//
+// The paper's methodology only holds if the instrumentation survives the
+// machine it measures: the IDE driver retries media errors, the procfs ring
+// overflows under burst load, and the trace file on the 500 MB disk can be
+// truncated or corrupted mid-drain. A FaultPlan describes, per layer, which
+// of those degraded modes a run should exercise; a FaultInjector evaluates
+// the plan with its own seeded RNG, so a fixed seed replays the exact same
+// fault sequence — every degraded-mode behavior is testable, not
+// theoretical.
+//
+// Layers and their fault classes:
+//   disk    transient media errors (retryable), permanent bad-sector
+//           ranges, per-request latency spikes, whole-drive stall windows
+//   driver  bounded retry with exponential backoff (policy lives here so
+//           the plan travels as one object)
+//   kernel  trace-drain daemon stalls and slow-drain windows, forcing the
+//           procfs ring to overflow and drop records
+//   trace   host-side trace-file failures: the ESST writer's stream dying
+//           mid-capture, and post-hoc corruption (truncation, bit flips)
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace ess::fault {
+
+/// Half-open window of virtual time, [begin, end).
+struct TimeWindow {
+  SimTime begin = 0;
+  SimTime end = 0;
+
+  bool contains(SimTime t) const { return t >= begin && t < end; }
+};
+
+/// Inclusive range of sector addresses.
+struct SectorRange {
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+
+  bool contains(std::uint64_t sector, std::uint32_t count) const {
+    return sector <= last && sector + count > first;
+  }
+};
+
+struct DiskFaults {
+  /// Per-request probability of a transient media error (recovered by a
+  /// driver retry; the drive itself reports the request failed once).
+  double transient_error_rate = 0.0;
+  /// Permanent bad-sector ranges: every request touching one fails with a
+  /// media error, every time. Retries cannot help.
+  std::vector<SectorRange> bad_ranges;
+  /// Per-request probability of a service-time spike (thermal recal, retry
+  /// inside the drive's own firmware) and its size.
+  double latency_spike_rate = 0.0;
+  SimTime latency_spike = msec(300);
+  /// Whole-drive stalls: a request starting service inside a window is
+  /// delayed until the window ends.
+  std::vector<TimeWindow> stall_windows;
+
+  bool any() const {
+    return transient_error_rate > 0 || !bad_ranges.empty() ||
+           latency_spike_rate > 0 || !stall_windows.empty();
+  }
+};
+
+/// IDE-style bounded retry. Kept in the plan so a whole experiment's fault
+/// posture travels as one value through StudyConfig.
+struct DriverRetryPolicy {
+  std::uint32_t max_retries = 4;   // re-issues after the first failure
+  SimTime backoff = msec(50);      // doubled per successive retry
+};
+
+struct KernelFaults {
+  /// Windows where the trace-drain daemon simply does not run (daemon
+  /// starved under load); the ring keeps filling and overflows.
+  std::vector<TimeWindow> drain_stalls;
+  /// Windows where the daemon runs but drains at most `slow_drain_batch`
+  /// records per pass instead of the configured batch.
+  std::vector<TimeWindow> slow_drains;
+  std::size_t slow_drain_batch = 64;
+
+  bool any() const { return !drain_stalls.empty() || !slow_drains.empty(); }
+};
+
+struct TraceIoFaults {
+  /// Host-side ESST stream dies (badbit) after this many bytes; 0 = never.
+  /// Applied via FailAfterStream around the capture file.
+  std::uint64_t writer_fail_after_bytes = 0;
+  /// Post-capture corruption pass (corrupt_file): remove this many bytes
+  /// from the tail, then flip `bitflips` seeded bits in the chunk region.
+  std::uint64_t truncate_tail_bytes = 0;
+  std::uint32_t bitflips = 0;
+
+  bool any() const {
+    return writer_fail_after_bytes > 0 || truncate_tail_bytes > 0 ||
+           bitflips > 0;
+  }
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0x0FA017;
+  DiskFaults disk;
+  DriverRetryPolicy driver;
+  KernelFaults kernel;
+  TraceIoFaults trace_io;
+
+  /// True when any layer injects anything (retry policy alone is inert).
+  bool active() const { return disk.any() || kernel.any() || trace_io.any(); }
+};
+
+/// What the injector has done so far — surfaced next to DriverStats and the
+/// ring's drop counter so a faulted run is observable end to end.
+struct FaultStats {
+  std::uint64_t transient_errors = 0;
+  std::uint64_t media_errors = 0;
+  std::uint64_t latency_spikes = 0;
+  std::uint64_t stalled_requests = 0;
+  SimTime injected_delay = 0;  // spike + stall time added to service
+  std::uint64_t drain_stalls = 0;
+  std::uint64_t slow_drains = 0;
+};
+
+/// The per-request disk verdict, consumed by disk::Drive.
+enum class DiskFaultKind : std::uint8_t {
+  kNone = 0,
+  kTransient = 1,  // fails this attempt; a retry may succeed
+  kMedia = 2,      // permanent; retries fail too
+};
+
+struct DiskOutcome {
+  DiskFaultKind kind = DiskFaultKind::kNone;
+  SimTime extra_latency = 0;  // added to the modelled service time
+};
+
+/// Evaluates a FaultPlan deterministically. One injector per node: the
+/// Bernoulli draws consume a private seeded stream, so the same plan over
+/// the same (deterministic) request sequence reproduces bit-identically.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Disk-layer verdict for a request starting service at `start`.
+  DiskOutcome on_disk_request(std::uint64_t sector, std::uint32_t count,
+                              bool is_write, SimTime start);
+
+  /// True when the trace-drain daemon is starved at `now` (the pass is
+  /// skipped entirely).
+  bool drain_stalled(SimTime now);
+
+  /// Batch limit for a drain pass at `now` (normally `normal_batch`).
+  std::size_t drain_batch(SimTime now, std::size_t normal_batch);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Host-side trace-file faults.
+
+/// Streambuf that forwards to a target until `fail_after` bytes have been
+/// written, then reports failure forever — an ESST capture stream dying
+/// mid-run (disk full, media error under the trace file). The wrapped
+/// stream sees only the bytes accepted before the fault.
+class FailAfterBuf final : public std::streambuf {
+ public:
+  FailAfterBuf(std::streambuf* target, std::uint64_t fail_after)
+      : target_(target), remaining_(fail_after) {}
+
+  std::uint64_t bytes_accepted() const { return accepted_; }
+  bool failed() const { return failed_; }
+
+ protected:
+  int overflow(int ch) override;
+  std::streamsize xsputn(const char* s, std::streamsize n) override;
+
+ private:
+  std::streambuf* target_;
+  std::uint64_t remaining_;
+  std::uint64_t accepted_ = 0;
+  bool failed_ = false;
+};
+
+/// Convenience ostream over FailAfterBuf.
+class FailAfterStream final : public std::ostream {
+ public:
+  FailAfterStream(std::ostream& target, std::uint64_t fail_after)
+      : std::ostream(&buf_), buf_(target.rdbuf(), fail_after) {}
+
+  std::uint64_t bytes_accepted() const { return buf_.bytes_accepted(); }
+  bool write_failed() const { return buf_.failed(); }
+
+ private:
+  FailAfterBuf buf_;
+};
+
+/// What corrupt_file / the helpers did, for assertions and logs.
+struct CorruptionSummary {
+  std::uint64_t original_bytes = 0;
+  std::uint64_t truncated_bytes = 0;
+  std::vector<std::uint64_t> flipped_offsets;  // byte offsets of bit flips
+};
+
+/// Remove the last `bytes_removed` bytes of `path` (clamped to the file
+/// size). Models a capture cut off mid-drain.
+void truncate_tail(const std::string& path, std::uint64_t bytes_removed);
+
+/// Flip one bit of the byte at `byte_offset`. Throws when out of range.
+void flip_bit(const std::string& path, std::uint64_t byte_offset,
+              unsigned bit);
+
+/// Apply `f`'s corruption pass to a committed trace file: truncate the
+/// tail, then flip `f.bitflips` bits at seeded offsets within
+/// [body_begin, file_end) — by default past the 128-byte ESST header, so
+/// the damage lands in chunks/index, the salvage-visible region. Explicit
+/// header damage is a separate matrix row via flip_bit().
+CorruptionSummary corrupt_file(const std::string& path, const TraceIoFaults& f,
+                               std::uint64_t seed,
+                               std::uint64_t body_begin = 128);
+
+}  // namespace ess::fault

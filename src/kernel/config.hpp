@@ -7,6 +7,7 @@
 #include "disk/geometry.hpp"
 #include "disk/scheduler.hpp"
 #include "disk/service_model.hpp"
+#include "fault/fault.hpp"
 #include "util/sim_time.hpp"
 
 namespace ess::kernel {
@@ -82,6 +83,12 @@ struct KernelConfig {
   DaemonConfig daemons;
   disk::ServiceParams disk;
   disk::SchedulerKind disk_scheduler = disk::SchedulerKind::kElevator;
+
+  // Fault posture for the whole pipeline (inactive by default: the healthy
+  // configuration pays nothing). When fault.active(), the node builds a
+  // FaultInjector and threads it through drive, driver, and drain daemon.
+  fault::FaultPlan fault;
+
   std::uint64_t seed = 0x5EEDBEEF;
 };
 

@@ -82,7 +82,20 @@ void NodeKernel::daemon_utmpd() {
 }
 
 void NodeKernel::daemon_trace_drain() {
-  auto batch = ring_.drain(cfg_.daemons.trace_drain_batch);
+  std::size_t limit = cfg_.daemons.trace_drain_batch;
+  if (faults_ != nullptr) {
+    // A starved daemon skips the pass entirely; a slow-drain window caps the
+    // batch. Either way the ring keeps filling and, under enough load,
+    // overflows — the drop counter (ring_.dropped()) is the record of it.
+    if (faults_->drain_stalled(engine_.now())) return;
+    limit = faults_->drain_batch(engine_.now(), limit);
+  }
+  force_trace_drain(limit);
+}
+
+void NodeKernel::force_trace_drain(std::size_t batch_limit) {
+  if (batch_limit == 0) batch_limit = cfg_.daemons.trace_drain_batch;
+  auto batch = ring_.drain(batch_limit);
   if (batch.empty()) return;
   // The drain itself writes the records to the trace file — instrumentation
   // logging is a real part of the measured write load (the paper says so).

@@ -31,7 +31,12 @@ void NodeKernel::init() {
   drive_ = std::make_unique<disk::Drive>(
       engine_, disk::ServiceModel(disk::beowulf_geometry(), cfg_.disk),
       cfg_.disk_scheduler);
+  if (cfg_.fault.active()) {
+    faults_ = std::make_unique<fault::FaultInjector>(cfg_.fault);
+    drive_->set_fault_injector(faults_.get());
+  }
   driver_ = std::make_unique<driver::IdeDriver>(*drive_, &ring_);
+  driver_->set_retry_policy(cfg_.fault.driver);
   driver_->ioctl_set_trace_level(driver::TraceLevel::kOff);  // off until armed
 
   block::CacheConfig cc;
@@ -190,11 +195,15 @@ bool NodeKernel::run_until_done(SimTime max_time) {
 }
 
 trace::TraceSet NodeKernel::collect_trace(const std::string& experiment) {
-  daemon_trace_drain();  // final drain
-  while (ring_.size() > 0) daemon_trace_drain();
+  force_trace_drain();  // final drain, bypassing any injected daemon stall
+  while (ring_.size() > 0) force_trace_drain();
   // The capture is complete: let the drain-side consumer (typically an ESST
-  // file writer) flush its open chunk and write its index.
-  if (drain_sink_ != nullptr) drain_sink_->on_finish(engine_.now());
+  // file writer) flush its open chunk and write its index — with the ring's
+  // overflow tally first, so a lossy capture is recorded as lossy.
+  if (drain_sink_ != nullptr) {
+    if (ring_.dropped() > 0) drain_sink_->on_drops(ring_.dropped());
+    drain_sink_->on_finish(engine_.now());
+  }
   trace::TraceSet ts(experiment, node_id_);
   ts.add_all(capture_);
   ts.set_duration(engine_.now());

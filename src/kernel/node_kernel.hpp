@@ -118,6 +118,10 @@ class NodeKernel {
   mm::Vm& vm() { return *vm_; }
   disk::Drive& drive() { return *drive_; }
   driver::IdeDriver& ide() { return *driver_; }
+  /// The procfs trace ring (drop accounting lives here).
+  trace::RingBuffer& trace_ring() { return ring_; }
+  /// Null unless cfg.fault.active() at construction.
+  fault::FaultInjector* fault_injector() { return faults_.get(); }
   const KernelConfig& config() const { return cfg_; }
   int node_id() const { return node_id_; }
   Rng& rng() { return rng_; }
@@ -162,6 +166,9 @@ class NodeKernel {
   void daemon_utmpd();
   void daemon_pacct();
   void daemon_trace_drain();
+  /// The drain body without the injected-stall gate (final collection must
+  /// terminate even when the plan stalls the daemon forever).
+  void force_trace_drain(std::size_t batch_limit = 0);
 
   void init();  // shared constructor body
 
@@ -172,6 +179,7 @@ class NodeKernel {
   std::unique_ptr<sim::Engine> owned_engine_;  // empty in shared mode
   sim::Engine& engine_;
   bool shared_engine_ = false;
+  std::unique_ptr<fault::FaultInjector> faults_;  // before drive_: outlives it
   std::unique_ptr<disk::Drive> drive_;
   trace::RingBuffer ring_;
   std::unique_ptr<driver::IdeDriver> driver_;

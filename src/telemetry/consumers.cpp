@@ -169,6 +169,8 @@ StreamSummary::Result StreamSummary::result(
   }
   res.hot = hot_.top(10);
   res.hot_exact = hot_.exact();
+  res.dropped_records = dropped_;
+  res.lossy = dropped_ > 0;
   return res;
 }
 

@@ -184,6 +184,7 @@ class StreamSummary final : public Sink {
 
   void on_record(const trace::Record& r) override;
   void on_finish(SimTime duration) override;
+  void on_drops(std::uint64_t dropped) override { dropped_ = dropped; }
 
   const SizeHistogramConsumer& sizes() const { return sizes_; }
   const RwMixConsumer& rw() const { return rw_; }
@@ -213,6 +214,11 @@ class StreamSummary final : public Sink {
     std::map<std::uint64_t, double> band_pct;
     std::vector<TopKSectorsConsumer::Entry> hot;  // top 10
     bool hot_exact = true;
+    /// Capture-loss annotation: records that never reached the stream
+    /// (ring overflow at capture time, chunks lost to corruption). A lossy
+    /// result is still comparable, but its provenance is on the label.
+    std::uint64_t dropped_records = 0;
+    bool lossy = false;
   };
   Result result(const std::string& experiment = {}) const;
 
@@ -224,6 +230,7 @@ class StreamSummary final : public Sink {
   SlidingRateConsumer sliding_;
   SimTime last_ts_ = 0;
   SimTime duration_ = 0;
+  std::uint64_t dropped_ = 0;
   bool finished_ = false;
 };
 

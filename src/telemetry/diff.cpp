@@ -107,6 +107,19 @@ DiffResult diff_summaries(const StreamSummary::Result& a,
     out.entries.push_back(e);
   }
 
+  if (a.lossy) {
+    out.notes.push_back("a (" + (a.experiment.empty() ? "?" : a.experiment) +
+                        "): lossy capture, " +
+                        std::to_string(a.dropped_records) +
+                        " record(s) dropped upstream");
+  }
+  if (b.lossy) {
+    out.notes.push_back("b (" + (b.experiment.empty() ? "?" : b.experiment) +
+                        "): lossy capture, " +
+                        std::to_string(b.dropped_records) +
+                        " record(s) dropped upstream");
+  }
+
   for (const auto& e : out.entries) {
     if (!e.ok) ++out.failed;
   }
@@ -127,6 +140,7 @@ std::string render_diff(const DiffResult& d) {
                   e.limit);
     os << line;
   }
+  for (const auto& n : d.notes) os << "note: " << n << '\n';
   os << (d.ok ? "OK: characterizations match within tolerance\n"
               : "FAIL: " + std::to_string(d.failed) +
                     " metric(s) out of tolerance\n");

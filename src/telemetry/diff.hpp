@@ -42,6 +42,11 @@ struct DiffResult {
   std::vector<DiffEntry> entries;
   bool ok = true;          // every entry within tolerance
   std::size_t failed = 0;  // entries out of tolerance
+  /// Provenance annotations (lossy captures, drop counts). Never affect
+  /// `ok` — a lossy capture may still characterize within tolerance — but
+  /// they are always printed, so a comparison against damaged data cannot
+  /// pass silently.
+  std::vector<std::string> notes;
 };
 
 DiffResult diff_summaries(const StreamSummary::Result& a,

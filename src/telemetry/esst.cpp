@@ -12,7 +12,8 @@ namespace ess::telemetry {
 namespace {
 
 constexpr char kMagic[8] = {'E', 'S', 'S', 'T', '0', '0', '0', '1'};
-constexpr char kIndexMagic[8] = {'E', 'S', 'S', 'T', 'I', 'D', 'X', '1'};
+constexpr char kIndexMagic1[8] = {'E', 'S', 'S', 'T', 'I', 'D', 'X', '1'};
+constexpr char kIndexMagic2[8] = {'E', 'S', 'S', 'T', 'I', 'D', 'X', '2'};
 constexpr std::uint32_t kChunkMagic = 0x4b4e4843;  // "CHNK"
 constexpr std::uint16_t kVersion = 1;
 constexpr std::size_t kHeaderBytes = 128;
@@ -20,7 +21,8 @@ constexpr std::size_t kNameBytes = 72;
 constexpr std::size_t kChunkHeaderBytes = 8;   // magic + payload size
 constexpr std::size_t kChunkFooterBytes = 28;  // count, ts x2, sector x2, crc
 constexpr std::size_t kIndexEntryBytes = 36;
-constexpr std::size_t kTrailerBytes = 40;
+constexpr std::size_t kTrailer1Bytes = 40;     // legacy, no drop count
+constexpr std::size_t kTrailer2Bytes = 48;     // adds capture drop count
 
 // ---- little-endian scalar packing (explicit: the header is a wire format,
 // not a memory dump, so it stays valid across compilers and platforms).
@@ -255,13 +257,14 @@ void EsstWriter::finish(SimTime duration) {
   }
   write_bytes(os_, entries.data(), entries.size());
 
-  std::uint8_t t[kTrailerBytes];
+  std::uint8_t t[kTrailer2Bytes];
   put_u32(t, static_cast<std::uint32_t>(index_.size()));
   put_u32(t + 4, crc32(entries.data(), entries.size()));
   put_u64(t + 8, duration > 0 ? duration : max_ts_);
   put_u64(t + 16, total_records_);
   put_u64(t + 24, index_offset);
-  std::memcpy(t + 32, kIndexMagic, sizeof kIndexMagic);
+  put_u64(t + 32, dropped_);
+  std::memcpy(t + 40, kIndexMagic2, sizeof kIndexMagic2);
   write_bytes(os_, t, sizeof t);
   os_.flush();
   finished_ = true;
@@ -270,30 +273,70 @@ void EsstWriter::finish(SimTime duration) {
 // ---------------------------------------------------------------- file sink
 
 struct EsstFileSink::Impl {
-  std::ofstream file;
+  std::ofstream file;         // owned stream (path constructor)
+  std::ostream* os = nullptr; // the stream the writer targets
   std::unique_ptr<EsstWriter> writer;
+  std::uint64_t records = 0;  // count survives a writer teardown on failure
+  bool failed = false;
+  std::string error;
+
+  // Latch a failure: record the message, drop the writer (no more bytes are
+  // attempted), and keep the sink alive so the drain path never sees the
+  // exception. The partial file stays salvageable up to its last complete
+  // chunk.
+  void latch(const char* where, const std::exception& e) {
+    failed = true;
+    error = std::string(where) + ": " + e.what();
+    writer.reset();
+  }
 };
 
 EsstFileSink::EsstFileSink(const std::string& path, EsstMeta meta)
     : impl_(std::make_unique<Impl>()) {
   impl_->file.open(path, std::ios::binary | std::ios::trunc);
   if (!impl_->file) throw std::runtime_error("esst: cannot open " + path);
-  impl_->writer = std::make_unique<EsstWriter>(impl_->file, std::move(meta));
+  impl_->os = &impl_->file;
+  impl_->writer = std::make_unique<EsstWriter>(*impl_->os, std::move(meta));
+}
+
+EsstFileSink::EsstFileSink(std::ostream& os, EsstMeta meta)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->os = &os;
+  impl_->writer = std::make_unique<EsstWriter>(*impl_->os, std::move(meta));
 }
 
 EsstFileSink::~EsstFileSink() = default;
 
 void EsstFileSink::on_record(const trace::Record& r) {
-  impl_->writer->append(r);
+  if (!impl_->writer) return;
+  try {
+    impl_->writer->append(r);
+    impl_->records = impl_->writer->records_written();
+  } catch (const std::exception& e) {
+    impl_->latch("esst sink: append", e);
+  }
 }
 
 void EsstFileSink::on_finish(SimTime duration) {
-  impl_->writer->finish(duration);
+  if (!impl_->writer) return;
+  try {
+    impl_->writer->finish(duration);
+  } catch (const std::exception& e) {
+    impl_->latch("esst sink: finish", e);
+  }
+}
+
+void EsstFileSink::on_drops(std::uint64_t dropped) {
+  if (impl_->writer) impl_->writer->set_dropped_records(dropped);
 }
 
 std::uint64_t EsstFileSink::records_written() const {
-  return impl_->writer->records_written();
+  return impl_->writer ? impl_->writer->records_written() : impl_->records;
 }
+
+bool EsstFileSink::failed() const { return impl_->failed; }
+
+const std::string& EsstFileSink::error() const { return impl_->error; }
 
 // ---------------------------------------------------------------- reader
 
@@ -367,58 +410,102 @@ EsstReader::EsstReader(std::istream& is) : is_(is) {
       std::min<std::uint32_t>(get_u32(h + 48), kNameBytes);
   meta_.experiment.assign(reinterpret_cast<const char*>(h + 52), name_len);
 
-  // Fast path: the trailing index.
-  if (size >= kHeaderBytes + kTrailerBytes) {
-    std::uint8_t t[kTrailerBytes];
-    is_.seekg(static_cast<std::streamoff>(size - kTrailerBytes));
-    is_.read(reinterpret_cast<char*>(t), sizeof t);
-    if (is_ && std::memcmp(t + 32, kIndexMagic, sizeof kIndexMagic) == 0) {
-      const std::uint32_t chunk_count = get_u32(t);
-      const std::uint32_t index_crc = get_u32(t + 4);
-      const std::uint64_t dur = get_u64(t + 8);
-      const std::uint64_t index_offset = get_u64(t + 24);
-      const std::uint64_t index_bytes =
-          std::uint64_t{chunk_count} * kIndexEntryBytes;
-      if (index_offset >= kHeaderBytes &&
-          index_offset + index_bytes + kTrailerBytes == size) {
-        std::vector<std::uint8_t> entries(index_bytes);
-        is_.clear();
-        is_.seekg(static_cast<std::streamoff>(index_offset));
-        is_.read(reinterpret_cast<char*>(entries.data()),
-                 static_cast<std::streamsize>(entries.size()));
-        if (is_ && crc32(entries.data(), entries.size()) == index_crc) {
-          chunks_.reserve(chunk_count);
-          for (std::uint32_t i = 0; i < chunk_count; ++i) {
-            const std::uint8_t* e = entries.data() + i * kIndexEntryBytes;
-            ChunkInfo c;
-            c.offset = get_u64(e);
-            c.records = get_u32(e + 8);
-            c.ts_first = get_u64(e + 12);
-            c.ts_last = get_u64(e + 20);
-            c.sector_min = get_u32(e + 28);
-            c.sector_max = get_u32(e + 32);
-            chunks_.push_back(c);
-          }
-          duration_ = dur;
-          return;
+  // Fast path: the trailing index. The trailer comes in two sizes —
+  // "ESSTIDX2" (48 bytes, carries the capture drop count) and the legacy
+  // "ESSTIDX1" (40 bytes) — distinguished by the magic at the very end.
+  std::size_t trailer_bytes = 0;
+  std::uint8_t t[kTrailer2Bytes] = {};
+  if (size >= kHeaderBytes + kTrailer2Bytes) {
+    is_.clear();
+    is_.seekg(static_cast<std::streamoff>(size - kTrailer2Bytes));
+    is_.read(reinterpret_cast<char*>(t), kTrailer2Bytes);
+    if (is_ && std::memcmp(t + 40, kIndexMagic2, sizeof kIndexMagic2) == 0) {
+      trailer_bytes = kTrailer2Bytes;
+      capture_dropped_ = get_u64(t + 32);
+    }
+  }
+  if (trailer_bytes == 0 && size >= kHeaderBytes + kTrailer1Bytes) {
+    is_.clear();
+    is_.seekg(static_cast<std::streamoff>(size - kTrailer1Bytes));
+    is_.read(reinterpret_cast<char*>(t), kTrailer1Bytes);
+    if (is_ && std::memcmp(t + 32, kIndexMagic1, sizeof kIndexMagic1) == 0) {
+      trailer_bytes = kTrailer1Bytes;
+    }
+  }
+  if (trailer_bytes != 0) {
+    const std::uint32_t chunk_count = get_u32(t);
+    const std::uint32_t index_crc = get_u32(t + 4);
+    const std::uint64_t dur = get_u64(t + 8);
+    const std::uint64_t total = get_u64(t + 16);
+    const std::uint64_t index_offset = get_u64(t + 24);
+    const std::uint64_t index_bytes =
+        std::uint64_t{chunk_count} * kIndexEntryBytes;
+    if (index_offset >= kHeaderBytes &&
+        index_offset + index_bytes + trailer_bytes == size) {
+      std::vector<std::uint8_t> entries(index_bytes);
+      is_.clear();
+      is_.seekg(static_cast<std::streamoff>(index_offset));
+      is_.read(reinterpret_cast<char*>(entries.data()),
+               static_cast<std::streamsize>(entries.size()));
+      if (is_ && crc32(entries.data(), entries.size()) == index_crc) {
+        chunks_.reserve(chunk_count);
+        for (std::uint32_t i = 0; i < chunk_count; ++i) {
+          const std::uint8_t* e = entries.data() + i * kIndexEntryBytes;
+          ChunkInfo c;
+          c.offset = get_u64(e);
+          c.records = get_u32(e + 8);
+          c.ts_first = get_u64(e + 12);
+          c.ts_last = get_u64(e + 20);
+          c.sector_min = get_u32(e + 28);
+          c.sector_max = get_u32(e + 32);
+          chunks_.push_back(c);
         }
+        duration_ = dur;
+        expected_records_ = total;
+        return;
       }
     }
   }
 
-  // Salvage path: forward scan, keep every chunk whose CRC passes.
+  // Salvage path: forward scan, keep every chunk whose CRC passes. A
+  // trailerless file carries no capture drop count; don't trust one parsed
+  // from a trailer that failed validation above.
   salvaged_ = true;
+  capture_dropped_ = 0;
   std::uint64_t off = kHeaderBytes;
   std::vector<std::uint8_t> payload;
   while (off < size) {
     ChunkInfo info;
     bool crc_ok = false;
-    if (!read_chunk_at(is_, off, size, info, payload, crc_ok)) break;
+    if (!read_chunk_at(is_, off, size, info, payload, crc_ok)) {
+      // Not a structurally complete chunk: either the trace ends here
+      // (index/trailer bytes, EOF) or the tail was truncated mid-chunk.
+      // Everything from `off` on is unaccounted for.
+      if (scan_first_bad_ == 0 && off + kChunkHeaderBytes <= size) {
+        std::uint8_t hdr[kChunkHeaderBytes];
+        is_.clear();
+        is_.seekg(static_cast<std::streamoff>(off));
+        is_.read(reinterpret_cast<char*>(hdr), sizeof hdr);
+        if (is_ && get_u32(hdr) == kChunkMagic) {
+          // Looks like a chunk but doesn't fit: a truncated tail.
+          ++scan_lost_chunks_;
+          scan_first_bad_ = off;
+        }
+      }
+      break;
+    }
     if (crc_ok) {
       chunks_.push_back(info);
       duration_ = std::max(duration_, info.ts_last);
     } else {
       ++corrupt_chunks_;
+      ++scan_lost_chunks_;
+      // The footer is untrusted (its CRC just failed); clamp its record
+      // claim so a garbage count cannot dominate the report.
+      scan_lost_records_ += std::min<std::uint64_t>(
+          info.records,
+          meta_.records_per_chunk > 0 ? meta_.records_per_chunk : info.records);
+      if (scan_first_bad_ == 0) scan_first_bad_ = off;
     }
     off += kChunkHeaderBytes + payload.size() + kChunkFooterBytes;
   }
@@ -428,6 +515,53 @@ std::uint64_t EsstReader::total_records() const {
   std::uint64_t n = 0;
   for (const auto& c : chunks_) n += c.records;
   return n;
+}
+
+SalvageReport EsstReader::verify() {
+  SalvageReport rep;
+  rep.index_ok = !salvaged_;
+  rep.capture_dropped = capture_dropped_;
+  const std::uint64_t size = stream_size(is_);
+  std::vector<std::uint8_t> payload;
+  for (const auto& c : chunks_) {
+    ChunkInfo info;
+    bool crc_ok = false;
+    bool decoded = false;
+    if (read_chunk_at(is_, c.offset, size, info, payload, crc_ok) && crc_ok) {
+      try {
+        decode_payload(payload.data(), payload.size(), info.records);
+        decoded = true;
+      } catch (const std::runtime_error&) {
+        // CRC passed but the payload does not decode — counts as lost.
+      }
+    }
+    if (decoded) {
+      ++rep.chunks_kept;
+      rep.records_kept += info.records;
+    } else {
+      ++rep.chunks_lost;
+      rep.records_lost += c.records;
+      if (rep.first_bad_offset == 0) rep.first_bad_offset = c.offset;
+    }
+  }
+  // Fold in damage the constructor's salvage scan already discarded (those
+  // chunks never made it into chunks_).
+  rep.chunks_lost += scan_lost_chunks_;
+  rep.records_lost += scan_lost_records_;
+  if (scan_first_bad_ != 0 &&
+      (rep.first_bad_offset == 0 || scan_first_bad_ < rep.first_bad_offset)) {
+    rep.first_bad_offset = scan_first_bad_;
+  }
+  if (salvaged_) {
+    // No trusted index: lost-record figures come from untrusted footers (a
+    // clamped lower bound), and a truncated tail may hide more.
+    rep.records_lost_exact = false;
+  } else if (expected_records_ > rep.records_kept + rep.records_lost) {
+    // The trailer's total outruns the index's per-chunk sum; trust the
+    // larger claim so the report never understates loss.
+    rep.records_lost = expected_records_ - rep.records_kept;
+  }
+  return rep;
 }
 
 std::vector<trace::Record> EsstReader::read_chunk(std::size_t idx) {

@@ -18,14 +18,20 @@
 //     (record count, first/last timestamp, min/max sector, payload CRC32).
 //   [index]
 //     One entry per chunk (offset + the footer's count/ranges) and a fixed
-//     40-byte trailer (chunk count, index CRC32, capture duration, total
-//     records, index offset, magic "ESSTIDX1").
+//     48-byte trailer (chunk count, index CRC32, capture duration, total
+//     records, index offset, capture drop count, magic "ESSTIDX2"). The
+//     drop count is the kernel ring's overflow tally at capture time, so a
+//     downstream analysis knows the file itself is a lossy record of the
+//     run. Files with the 40-byte "ESSTIDX1" trailer (no drop count) are
+//     still read.
 //
 // Readers seek to the trailer and load the index; `filter`-style queries
 // skip whole chunks whose [ts, sector] ranges cannot match. When the index
 // is missing or bad (the writer died mid-run, the tail was truncated), the
 // reader falls back to a forward scan and salvages every chunk whose CRC
-// passes — a crash loses at most the unflushed chunk, never the file.
+// passes — a crash loses at most the unflushed chunk, never the file. All
+// degraded-mode results carry a structured SalvageReport instead of being
+// silently partial.
 #pragma once
 
 #include <cstdint>
@@ -81,6 +87,12 @@ class EsstWriter {
 
   void append(const trace::Record& r);
 
+  /// Capture-loss accounting: records that overflowed out of the kernel
+  /// ring before reaching this writer. Persisted in the trailer so readers
+  /// know the capture is lossy. Cumulative; call any time before finish().
+  void set_dropped_records(std::uint64_t dropped) { dropped_ = dropped; }
+  std::uint64_t dropped_records() const { return dropped_; }
+
   /// Flush the open chunk and write index + trailer. `duration` of 0 means
   /// "span of the records seen". Idempotent; called by the destructor if
   /// the caller did not.
@@ -99,25 +111,70 @@ class EsstWriter {
   std::vector<ChunkInfo> index_;
   std::uint64_t offset_ = 0;  // bytes written so far
   std::uint64_t total_records_ = 0;
+  std::uint64_t dropped_ = 0;
   SimTime max_ts_ = 0;
   bool finished_ = false;
 };
 
 /// A Sink that streams records into an ESST file — the trace-drain daemon's
 /// on-disk back-end, and the capture side of `esstrace`.
+///
+/// Hardened against its own medium: when the underlying stream fails
+/// mid-capture (disk full, media error under the trace file — see
+/// fault::FailAfterStream), the sink latches the failure instead of
+/// throwing into the drain path. The run continues untraced-to-disk; the
+/// partial file remains salvageable up to the last complete chunk, and
+/// failed()/error() report what happened.
 class EsstFileSink final : public Sink {
  public:
   EsstFileSink(const std::string& path, EsstMeta meta);
+  /// Write to a caller-owned stream (not closed by the sink). The fault
+  /// harness uses this to put a failing stream under the writer.
+  EsstFileSink(std::ostream& os, EsstMeta meta);
   ~EsstFileSink() override;
 
   void on_record(const trace::Record& r) override;
   void on_finish(SimTime duration) override;
+  void on_drops(std::uint64_t dropped) override;
 
   std::uint64_t records_written() const;
+
+  /// True once a write failed; no further bytes are attempted.
+  bool failed() const;
+  /// The latched failure message (empty while healthy).
+  const std::string& error() const;
 
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
+};
+
+/// Structured account of how much of a capture survived — populated by
+/// EsstReader::verify() so degraded reads are reported, never silent.
+struct SalvageReport {
+  /// Trailer index present and CRC-clean (false => chunk list was rebuilt
+  /// by a forward scan).
+  bool index_ok = false;
+  std::size_t chunks_kept = 0;
+  std::size_t chunks_lost = 0;  // CRC-failed or undecodable chunk bodies
+  std::uint64_t records_kept = 0;
+  /// Records in lost chunks. Exact when the index survived (its per-chunk
+  /// counts are authoritative); otherwise a lower bound reconstructed from
+  /// untrusted footers and `records_lost_exact` is false.
+  std::uint64_t records_lost = 0;
+  bool records_lost_exact = true;
+  /// File offset of the first damaged byte region (the first lost chunk,
+  /// or where a salvage scan stopped early); 0 when nothing was damaged.
+  std::uint64_t first_bad_offset = 0;
+  /// Records that overflowed the kernel ring at capture time (from the
+  /// trailer): loss upstream of the file itself.
+  std::uint64_t capture_dropped = 0;
+
+  /// Full-fidelity capture: indexed, nothing lost at capture or since.
+  bool clean() const {
+    return index_ok && chunks_lost == 0 && records_lost == 0 &&
+           capture_dropped == 0;
+  }
 };
 
 /// Reader: loads the header and the chunk index (or scan-salvages when the
@@ -137,6 +194,13 @@ class EsstReader {
   bool salvaged() const { return salvaged_; }
   /// Chunks dropped during the scan because their CRC failed.
   std::size_t corrupt_chunks() const { return corrupt_chunks_; }
+  /// Capture-time ring overflow recorded in the trailer (0 for v1 trailers
+  /// and salvaged files, where the count did not survive).
+  std::uint64_t capture_dropped() const { return capture_dropped_; }
+
+  /// Integrity pass: decode every chunk and account for what survived.
+  /// Never throws for damaged chunks — damage becomes report fields.
+  SalvageReport verify();
 
   SimTime duration() const { return duration_; }
   std::uint64_t total_records() const;
@@ -171,6 +235,12 @@ class EsstReader {
   SimTime duration_ = 0;
   bool salvaged_ = false;
   std::size_t corrupt_chunks_ = 0;
+  std::uint64_t capture_dropped_ = 0;
+  std::uint64_t expected_records_ = 0;   // trailer claim (index_ok only)
+  // Scan-time damage accounting, folded into verify()'s report.
+  std::size_t scan_lost_chunks_ = 0;
+  std::uint64_t scan_lost_records_ = 0;  // from untrusted footers, clamped
+  std::uint64_t scan_first_bad_ = 0;
 };
 
 // Whole-file conveniences. write_esst_file fills meta.experiment/node_id

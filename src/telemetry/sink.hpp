@@ -25,6 +25,12 @@ class Sink {
   /// can extend past the last record). Consumers finalize rate metrics here;
   /// file writers flush and write their index.
   virtual void on_finish(SimTime duration) { (void)duration; }
+
+  /// Capture-loss accounting: `dropped` records overflowed out of the
+  /// kernel ring and never reached this sink. Reported (cumulative, may be
+  /// called more than once) before on_finish, so file writers persist the
+  /// loss and consumers can mark their results lossy. Default: ignore.
+  virtual void on_drops(std::uint64_t dropped) { (void)dropped; }
 };
 
 /// Broadcasts every record to a set of downstream sinks (live consumers +
@@ -43,6 +49,9 @@ class FanoutSink final : public Sink {
   }
   void on_finish(SimTime duration) override {
     for (Sink* s : sinks_) s->on_finish(duration);
+  }
+  void on_drops(std::uint64_t dropped) override {
+    for (Sink* s : sinks_) s->on_drops(dropped);
   }
 
  private:

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <ostream>
 #include <stdexcept>
+#include <vector>
 
 namespace ess::trace {
 namespace {
@@ -112,31 +113,53 @@ bool parse_field(const std::string& s, std::uint64_t max, std::uint64_t& out) {
   return true;
 }
 
-bool parse_record(const std::string& line, Record& r) {
-  std::string fields[5];
-  std::size_t field = 0;
+enum class RowParse { kOk, kRepaired, kBad };
+
+RowParse parse_record(const std::string& line, Record& r) {
+  std::vector<std::string> fields(1);
   for (const char c : line) {
     if (c == ',') {
-      if (++field >= 5) return false;  // too many columns
+      if (fields.size() >= 6) return RowParse::kBad;  // too many columns
+      fields.emplace_back();
     } else {
-      fields[field].push_back(c);
+      fields.back().push_back(c);
     }
   }
-  if (field != 4) return false;  // too few columns
+  bool repaired = false;
+  // Whitespace padding around a value ("12, 34") is formatting damage, not
+  // data damage: trim and remember that we did. Trimming runs first so a
+  // trailing ", " reduces to a plain trailing delimiter below.
+  for (auto& f : fields) {
+    const auto b = f.find_first_not_of(" \t");
+    const auto e = f.find_last_not_of(" \t");
+    const std::string trimmed =
+        b == std::string::npos ? std::string{} : f.substr(b, e - b + 1);
+    if (trimmed.size() != f.size()) {
+      f = trimmed;
+      repaired = true;
+    }
+  }
+  // A trailing delimiter ("...,1,") produces one extra empty field; dropping
+  // it loses nothing, so the row is repairable rather than malformed.
+  if (fields.size() == 6 && fields.back().empty()) {
+    fields.pop_back();
+    repaired = true;
+  }
+  if (fields.size() != 5) return RowParse::kBad;
   std::uint64_t ts = 0, sector = 0, size = 0, rw = 0, out = 0;
   if (!parse_field(fields[0], std::uint64_t{0xFFFFFFFFFFFFFFFF}, ts) ||
       !parse_field(fields[1], 0xFFFFFFFFu, sector) ||
       !parse_field(fields[2], 0xFFFFFFFFu, size) ||
       !parse_field(fields[3], 1, rw) ||
       !parse_field(fields[4], 0xFFFFu, out)) {
-    return false;
+    return RowParse::kBad;  // out-of-range values are data damage: skip
   }
   r.timestamp = ts;
   r.sector = static_cast<std::uint32_t>(sector);
   r.size_bytes = static_cast<std::uint32_t>(size);
   r.is_write = static_cast<std::uint8_t>(rw);
   r.outstanding = static_cast<std::uint16_t>(out);
-  return true;
+  return repaired ? RowParse::kRepaired : RowParse::kOk;
 }
 
 }  // namespace
@@ -152,9 +175,11 @@ TraceSet read_csv(std::istream& is, CsvReadStats* stats) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     Record r;
-    if (parse_record(line, r)) {
+    const RowParse p = parse_record(line, r);
+    if (p != RowParse::kBad) {
       ts.add(r);
       ++st.rows;
+      if (p == RowParse::kRepaired) ++st.repaired;
     } else if (first_content) {
       st.had_header = true;  // the column-name row
     } else {

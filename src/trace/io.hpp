@@ -24,10 +24,14 @@ void write_csv_file(const TraceSet& ts, const std::string& path);
 /// CSV ingestion (the reverse direction: traces exported by this tool, or
 /// produced by hand / another harness). Tolerant by design — an empty file
 /// is an empty trace, and blank lines, '#' comments, a header row, and
-/// malformed rows are skipped (and counted), never fatal.
+/// malformed rows are skipped (and counted), never fatal. Rows with benign
+/// formatting damage (a trailing delimiter, whitespace padding inside
+/// fields) are repaired and kept; the stats distinguish the two so a caller
+/// can tell "this file was scruffy but complete" from "rows were lost".
 struct CsvReadStats {
-  std::uint64_t rows = 0;     // records successfully parsed
-  std::uint64_t skipped = 0;  // malformed rows dropped
+  std::uint64_t rows = 0;      // records kept (includes repaired ones)
+  std::uint64_t skipped = 0;   // malformed rows dropped (data lost)
+  std::uint64_t repaired = 0;  // rows kept only after cleanup (no data lost)
   bool had_header = false;
 };
 TraceSet read_csv(std::istream& is, CsvReadStats* stats = nullptr);

@@ -1,11 +1,19 @@
 #include "trace/ring_buffer.hpp"
 
+#include <algorithm>
+
 namespace ess::trace {
 
 void RingBuffer::push(const Record& r) {
   ++pushed_;
-  if (buf_.size() == capacity_) {
-    buf_.pop_front();
+  // A zero-capacity ring (instrumentation armed but no buffer configured)
+  // drops everything; it must not touch the empty deque.
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  while (buf_.size() >= capacity_) {
+    buf_.pop_front();  // drop-oldest: the newest record always lands
     ++dropped_;
   }
   buf_.push_back(r);

@@ -1,39 +1,12 @@
-// Reduced-scale StudyConfig for tests: same mechanisms, much smaller
-// workloads, so whole experiments run in well under a second each.
+// Shim: the reduced-scale StudyConfig moved into the library
+// (core/presets.hpp) so `esstrace capture` and the tests share it. Existing
+// tests keep their ess::test::fast_study_config() spelling.
 #pragma once
 
-#include "core/study.hpp"
+#include "core/presets.hpp"
 
 namespace ess::test {
 
-inline core::StudyConfig fast_study_config() {
-  core::StudyConfig cfg;
-  cfg.baseline_duration = sec(120);
-  cfg.max_run_time = sec(3000);
-
-  cfg.ppm.nx = 60;
-  cfg.ppm.ny = 120;
-  cfg.ppm.steps = 8;
-  cfg.ppm.summary_every = 4;
-  // At this miniature scale the absolute request counts are tiny, so the
-  // image cold-tail would dominate percentages; keep small binaries hot.
-  cfg.ppm.image_warm_fraction = 1.0;
-  cfg.nbody.image_warm_fraction = 0.95;
-
-  cfg.wavelet.image_size = 128;
-  cfg.wavelet.levels = 4;
-  cfg.wavelet.reference_count = 1;
-  cfg.wavelet.search_coarse = 16;
-  cfg.wavelet.search_mid = 8;
-  cfg.wavelet.search_fine = 4;
-  // Keep the memory appetite (relative to 16 MB) so paging still happens.
-  cfg.wavelet.image_bytes = 4 * 1024 * 1024;
-
-  cfg.nbody.bodies = 1024;
-  cfg.nbody.steps = 4;
-  cfg.nbody.checkpoint_every = 2;
-
-  return cfg;
-}
+using core::fast_study_config;
 
 }  // namespace ess::test

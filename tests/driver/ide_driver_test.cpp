@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 namespace ess::driver {
 namespace {
 
@@ -93,6 +95,133 @@ TEST_F(IdeDriverTest, MaxRequestBytesTracked) {
   drv.submit(0, 2, disk::Dir::kWrite);
   drv.submit(100, 32, disk::Dir::kWrite);
   EXPECT_EQ(drv.stats().max_request_bytes, 32u * 512);
+}
+
+// ---- error paths: the driver as the recovery layer ----
+
+class FaultedDriverTest : public ::testing::Test {
+ protected:
+  /// Attach an injector evaluating `plan` to the fixture's drive.
+  void inject(const fault::FaultPlan& plan) {
+    faults = std::make_unique<fault::FaultInjector>(plan);
+    drive.set_fault_injector(faults.get());
+  }
+
+  sim::Engine engine;
+  disk::Drive drive{engine,
+                    disk::ServiceModel(disk::beowulf_geometry(),
+                                       disk::ServiceParams{})};
+  trace::RingBuffer ring{1024};
+  IdeDriver drv{drive, &ring};
+  std::unique_ptr<fault::FaultInjector> faults;
+};
+
+TEST_F(FaultedDriverTest, PersistentTransientErrorExhaustsBoundedRetries) {
+  fault::FaultPlan plan;
+  plan.disk.transient_error_rate = 1.0;  // every attempt fails retryably
+  inject(plan);
+
+  bool done = false;
+  drv.submit(100, 2, disk::Dir::kRead, [&] { done = true; });
+  engine.run();
+
+  // One original attempt + max_retries re-issues, then the request
+  // completes carrying its error — the upper layers always proceed.
+  EXPECT_TRUE(done);
+  const auto& st = drv.stats();
+  EXPECT_EQ(st.requests_issued, 1u);
+  EXPECT_EQ(st.retries, drv.retry_policy().max_retries);
+  EXPECT_EQ(st.transient_errors, 1u + drv.retry_policy().max_retries);
+  EXPECT_EQ(st.failed_requests, 1u);
+  EXPECT_EQ(st.media_errors, 0u);
+}
+
+TEST_F(FaultedDriverTest, MediaErrorFailsFastWithoutBurningRetries) {
+  fault::FaultPlan plan;
+  plan.disk.bad_ranges.push_back({100, 109});
+  inject(plan);
+
+  bool done = false;
+  drv.submit(104, 2, disk::Dir::kWrite, [&] { done = true; });
+  engine.run();
+
+  EXPECT_TRUE(done);
+  EXPECT_EQ(drv.stats().media_errors, 1u);
+  EXPECT_EQ(drv.stats().retries, 0u);  // permanent: retrying cannot help
+  EXPECT_EQ(drv.stats().failed_requests, 1u);
+}
+
+TEST_F(FaultedDriverTest, RetriesBackOffExponentially) {
+  fault::FaultPlan plan;
+  plan.disk.transient_error_rate = 1.0;
+  inject(plan);
+  fault::DriverRetryPolicy pol;
+  pol.max_retries = 3;
+  pol.backoff = msec(50);
+  drv.set_retry_policy(pol);
+
+  bool done = false;
+  drv.submit(100, 2, disk::Dir::kRead, [&] { done = true; });
+  engine.run();
+
+  EXPECT_TRUE(done);
+  // 50 + 100 + 200 ms of backoff is a floor on the completion time.
+  EXPECT_GE(engine.now(), msec(350));
+  EXPECT_EQ(drv.stats().retries, 3u);
+}
+
+TEST_F(FaultedDriverTest, StandardTraceLevelHidesRetriesFromTheStream) {
+  // The paper's mode records each *logical* request once at issue time;
+  // retries are physical-layer noise kept out of the characterization.
+  fault::FaultPlan plan;
+  plan.disk.transient_error_rate = 1.0;
+  inject(plan);
+
+  drv.submit(100, 2, disk::Dir::kRead);
+  drv.submit(200, 2, disk::Dir::kWrite);
+  engine.run();
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(drv.stats().trace_records, 2u);
+}
+
+TEST_F(FaultedDriverTest, VerboseTraceLevelShowsReissuesAndErrors) {
+  fault::FaultPlan plan;
+  plan.disk.transient_error_rate = 1.0;
+  inject(plan);
+  fault::DriverRetryPolicy pol;
+  pol.max_retries = 2;
+  drv.set_retry_policy(pol);
+  drv.ioctl_set_trace_level(TraceLevel::kVerbose);
+
+  drv.submit(100, 2, disk::Dir::kRead);
+  engine.run();
+  // One issue record, one record per re-issue (the error made visible),
+  // and one completion for the attempt that ends the request: 1 + 2 + 1.
+  EXPECT_EQ(ring.size(), 4u);
+}
+
+TEST_F(FaultedDriverTest, HealthyDriveUnaffectedByRetryPolicy) {
+  // No injector: stats stay clean and the record stream is the baseline one.
+  drv.submit(100, 2, disk::Dir::kRead);
+  engine.run();
+  EXPECT_EQ(drv.stats().transient_errors, 0u);
+  EXPECT_EQ(drv.stats().failed_requests, 0u);
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST_F(FaultedDriverTest, LatencySpikeDelaysServiceButCompletes) {
+  fault::FaultPlan plan;
+  plan.disk.latency_spike_rate = 1.0;
+  plan.disk.latency_spike = msec(300);
+  inject(plan);
+
+  bool done = false;
+  drv.submit(100, 2, disk::Dir::kRead, [&] { done = true; });
+  engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_GE(engine.now(), msec(300));
+  EXPECT_EQ(drive.stats().fault_delay, msec(300));
+  EXPECT_EQ(drv.stats().failed_requests, 0u);
 }
 
 }  // namespace

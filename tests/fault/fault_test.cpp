@@ -1,0 +1,171 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ess::fault {
+namespace {
+
+TEST(FaultPlan, InactiveByDefault) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  EXPECT_FALSE(plan.disk.any());
+  EXPECT_FALSE(plan.kernel.any());
+  EXPECT_FALSE(plan.trace_io.any());
+}
+
+TEST(FaultPlan, RetryPolicyAloneIsInert) {
+  // The retry policy is configuration for the driver, not a fault: a plan
+  // carrying only it must not cause the kernel to build an injector.
+  FaultPlan plan;
+  plan.driver.max_retries = 9;
+  plan.driver.backoff = msec(10);
+  EXPECT_FALSE(plan.active());
+}
+
+TEST(FaultInjector, DeterministicAcrossInstances) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.disk.transient_error_rate = 0.3;
+  plan.disk.latency_spike_rate = 0.2;
+
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 500; ++i) {
+    const auto oa = a.on_disk_request(100 + i, 2, i % 2 == 0, sec(i));
+    const auto ob = b.on_disk_request(100 + i, 2, i % 2 == 0, sec(i));
+    EXPECT_EQ(oa.kind, ob.kind) << "request " << i;
+    EXPECT_EQ(oa.extra_latency, ob.extra_latency) << "request " << i;
+  }
+  EXPECT_EQ(a.stats().transient_errors, b.stats().transient_errors);
+  EXPECT_EQ(a.stats().latency_spikes, b.stats().latency_spikes);
+  EXPECT_GT(a.stats().transient_errors, 0u);
+  EXPECT_GT(a.stats().latency_spikes, 0u);
+}
+
+TEST(FaultInjector, BadRangeIsPermanentAndBeatsTransientDraw) {
+  FaultPlan plan;
+  plan.disk.transient_error_rate = 1.0;  // everything else fails transiently
+  plan.disk.bad_ranges.push_back({1000, 1009});
+  FaultInjector inj(plan);
+
+  // Every attempt on the bad range is a media error — retries cannot help.
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const auto o = inj.on_disk_request(1005, 2, false, sec(attempt));
+    EXPECT_EQ(o.kind, DiskFaultKind::kMedia);
+  }
+  // A request overlapping the range's edge also fails.
+  EXPECT_EQ(inj.on_disk_request(998, 4, true, 0).kind, DiskFaultKind::kMedia);
+  // Outside the range the transient draw applies.
+  EXPECT_EQ(inj.on_disk_request(2000, 2, false, 0).kind,
+            DiskFaultKind::kTransient);
+  EXPECT_EQ(inj.stats().media_errors, 11u);
+}
+
+TEST(FaultInjector, StallWindowDelaysUntilWindowEnd) {
+  FaultPlan plan;
+  plan.disk.stall_windows.push_back({sec(10), sec(12)});
+  FaultInjector inj(plan);
+
+  EXPECT_EQ(inj.on_disk_request(5, 1, false, sec(9)).extra_latency, 0u);
+  // Starting mid-window: delayed to the window's end.
+  EXPECT_EQ(inj.on_disk_request(5, 1, false, sec(11)).extra_latency, sec(1));
+  EXPECT_EQ(inj.on_disk_request(5, 1, false, sec(12)).extra_latency, 0u);
+  EXPECT_EQ(inj.stats().stalled_requests, 1u);
+  EXPECT_EQ(inj.stats().injected_delay, sec(1));
+}
+
+TEST(FaultInjector, DrainStallAndSlowDrainWindows) {
+  FaultPlan plan;
+  plan.kernel.drain_stalls.push_back({sec(10), sec(20)});
+  plan.kernel.slow_drains.push_back({sec(30), sec(40)});
+  plan.kernel.slow_drain_batch = 16;
+  FaultInjector inj(plan);
+
+  EXPECT_FALSE(inj.drain_stalled(sec(5)));
+  EXPECT_TRUE(inj.drain_stalled(sec(15)));
+  EXPECT_FALSE(inj.drain_stalled(sec(25)));
+  EXPECT_EQ(inj.drain_batch(sec(25), 4096), 4096u);
+  EXPECT_EQ(inj.drain_batch(sec(35), 4096), 16u);
+  EXPECT_EQ(inj.stats().drain_stalls, 1u);
+  EXPECT_EQ(inj.stats().slow_drains, 1u);
+}
+
+TEST(FailAfterStream, AcceptsExactlyTheBudgetThenFails) {
+  std::ostringstream target;
+  FailAfterStream s(target, 10);
+  s.write("0123456789", 10);
+  EXPECT_TRUE(s.good());
+  EXPECT_EQ(s.bytes_accepted(), 10u);
+  s.write("x", 1);
+  EXPECT_FALSE(s.good());
+  EXPECT_TRUE(s.write_failed());
+  EXPECT_EQ(target.str(), "0123456789");  // nothing past the fault
+}
+
+TEST(FailAfterStream, ShortWriteTruncatesMidBlock) {
+  std::ostringstream target;
+  FailAfterStream s(target, 4);
+  s.write("abcdefgh", 8);  // only 4 accepted
+  EXPECT_FALSE(s.good());
+  EXPECT_EQ(s.bytes_accepted(), 4u);
+  EXPECT_EQ(target.str(), "abcd");
+}
+
+std::string temp_file(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f.write(content.data(), static_cast<std::streamsize>(content.size()));
+  return path;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(CorruptFile, TruncateTailRemovesExactlyThatManyBytes) {
+  const auto path = temp_file("fault_trunc.bin", "0123456789");
+  truncate_tail(path, 4);
+  EXPECT_EQ(slurp(path), "012345");
+  truncate_tail(path, 100);  // clamped, not an error
+  EXPECT_EQ(slurp(path), "");
+}
+
+TEST(CorruptFile, FlipBitTogglesAndIsItsOwnInverse) {
+  const auto path = temp_file("fault_flip.bin", "AAAA");
+  flip_bit(path, 2, 0);
+  EXPECT_EQ(slurp(path), "AA@A");  // 'A' (0x41) ^ 1 = 0x40 '@'
+  flip_bit(path, 2, 0);
+  EXPECT_EQ(slurp(path), "AAAA");
+  EXPECT_THROW(flip_bit(path, 99, 0), std::out_of_range);
+}
+
+TEST(CorruptFile, SeededCorruptionIsReproducible) {
+  const std::string content(4096, '\x5a');
+  const auto p1 = temp_file("fault_corrupt1.bin", content);
+  const auto p2 = temp_file("fault_corrupt2.bin", content);
+  TraceIoFaults f;
+  f.truncate_tail_bytes = 100;
+  f.bitflips = 8;
+  const auto s1 = corrupt_file(p1, f, 7, 128);
+  const auto s2 = corrupt_file(p2, f, 7, 128);
+  EXPECT_EQ(s1.original_bytes, 4096u);
+  EXPECT_EQ(s1.truncated_bytes, 100u);
+  ASSERT_EQ(s1.flipped_offsets.size(), 8u);
+  EXPECT_EQ(s1.flipped_offsets, s2.flipped_offsets);
+  EXPECT_EQ(slurp(p1), slurp(p2));
+  // Damage lands in the body, never the protected header region.
+  for (const auto off : s1.flipped_offsets) {
+    EXPECT_GE(off, 128u);
+    EXPECT_LT(off, 3996u);
+  }
+}
+
+}  // namespace
+}  // namespace ess::fault

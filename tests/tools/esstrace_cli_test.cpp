@@ -9,6 +9,7 @@
 #include <sstream>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "telemetry/esst.hpp"
 #include "trace/io.hpp"
 
@@ -206,6 +207,75 @@ TEST_F(EsstraceCli, DiffExitCodesGateOnTolerance) {
 TEST_F(EsstraceCli, DiffReportsMissingInputAsError) {
   std::ostringstream out, err;
   EXPECT_EQ(cmd_diff(csv_, tmp_path("gone.esst"), {}, out, err), 2);
+}
+
+// ---- verify: the capture-integrity gate ----
+
+TEST_F(EsstraceCli, VerifyCleanFileExitsZero) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cmd_verify(esst_, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("verdict         CLEAN"), std::string::npos);
+  EXPECT_NE(out.str().find("120 kept"), std::string::npos);
+}
+
+TEST_F(EsstraceCli, VerifyLossyCaptureExitsOne) {
+  // Intact on disk, but records were dropped upstream at capture time: the
+  // trailer says so, and verify refuses to call the file clean.
+  const auto path = tmp_path("cli_lossy.esst");
+  {
+    std::ofstream f(path, std::ios::binary);
+    telemetry::EsstWriter w(f, telemetry::EsstMeta{});
+    for (const auto& r : sample().records()) w.append(r);
+    w.set_dropped_records(9);
+    w.finish(sample().duration());
+  }
+  std::ostringstream out, err;
+  EXPECT_EQ(cmd_verify(path, out, err), 1) << err.str();
+  EXPECT_NE(out.str().find("LOSSY"), std::string::npos);
+  EXPECT_NE(out.str().find("capture drops   9"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(EsstraceCli, VerifyTruncatedFileExitsOneAsSalvaged) {
+  const auto path = tmp_path("cli_salvage.esst");
+  telemetry::EsstMeta meta;
+  meta.records_per_chunk = 16;
+  telemetry::write_esst_file(sample(), path, meta);
+  fault::truncate_tail(path, 200);  // index and tail chunks gone
+  std::ostringstream out, err;
+  EXPECT_EQ(cmd_verify(path, out, err), 1) << err.str();
+  EXPECT_NE(out.str().find("SALVAGED"), std::string::npos);
+  EXPECT_NE(out.str().find("MISSING/BAD"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(EsstraceCli, VerifyRejectsNonEsstAndMissingFilesWithTwo) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cmd_verify(csv_, out, err), 2);
+  EXPECT_EQ(cmd_verify(tmp_path("gone.esst"), out, err), 2);
+}
+
+// ---- capture: golden-trace generation for the regression gate ----
+
+TEST_F(EsstraceCli, CaptureRejectsUnknownExperiment) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cmd_capture("fortran", tmp_path("cli_cap.esst"), out, err), 2);
+  EXPECT_NE(err.str().find("unknown experiment"), std::string::npos);
+}
+
+TEST_F(EsstraceCli, CaptureProducesAVerifiableSelfConsistentFile) {
+  const auto path = tmp_path("cli_cap_ppm.esst");
+  std::ostringstream out, err;
+  ASSERT_EQ(cmd_capture("ppm", path, out, err), 0) << err.str();
+  EXPECT_NE(out.str().find("ppm:"), std::string::npos);
+
+  std::ostringstream vout;
+  EXPECT_EQ(cmd_verify(path, vout, err), 0) << err.str();
+  // A capture diffed against itself is the degenerate regression gate: it
+  // must pass with zero failing entries.
+  std::ostringstream dout;
+  EXPECT_EQ(cmd_diff(path, path, {}, dout, err), 0) << err.str();
+  std::remove(path.c_str());
 }
 
 }  // namespace

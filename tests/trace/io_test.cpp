@@ -186,5 +186,70 @@ TEST(TraceIo, CsvFileMissingThrows) {
                std::runtime_error);
 }
 
+TEST(TraceIo, CsvTrailingDelimiterIsRepairedNotSkipped) {
+  std::stringstream ss(
+      "timestamp_us,sector,size_bytes,is_write,outstanding\n"
+      "100,7,1024,0,0,\n"    // trailing comma: repairable
+      "200,8,2048,1,1\n");
+  CsvReadStats stats;
+  const TraceSet ts = read_csv(ss, &stats);
+  EXPECT_EQ(stats.rows, 2u);
+  EXPECT_EQ(stats.repaired, 1u);
+  EXPECT_EQ(stats.skipped, 0u);
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.records()[0].timestamp, 100u);
+}
+
+TEST(TraceIo, CsvWhitespacePaddingIsRepairedNotSkipped) {
+  std::stringstream ss("100, 7 ,1024,\t0,0\n200,8,2048,1,1\n");
+  CsvReadStats stats;
+  const TraceSet ts = read_csv(ss, &stats);
+  EXPECT_EQ(stats.rows, 2u);
+  EXPECT_EQ(stats.repaired, 1u);
+  EXPECT_EQ(stats.skipped, 0u);
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.records()[0].sector, 7u);
+  EXPECT_EQ(ts.records()[0].is_write, 0);
+}
+
+TEST(TraceIo, CsvRepairedAndSkippedAreDistinct) {
+  // One repairable row, one unrecoverable row (out-of-range sector): the
+  // caller can tell formatting damage (kept) from data damage (lost).
+  std::stringstream ss(
+      "100,7,1024,0,0\n"
+      "150,8,1024,1,2, \n"           // trailing comma + space: repaired
+      "200,4294967296,1024,0,0\n");  // sector overflows u32: skipped
+  CsvReadStats stats;
+  const TraceSet ts = read_csv(ss, &stats);
+  EXPECT_EQ(stats.rows, 2u);
+  EXPECT_EQ(stats.repaired, 1u);
+  EXPECT_EQ(stats.skipped, 1u);
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.records()[1].timestamp, 150u);
+  EXPECT_EQ(ts.records()[1].outstanding, 2u);
+}
+
+TEST(TraceIo, CsvCrLfWithTrailingDelimiter) {
+  // CRLF stripping happens before field parsing, so "…,1,\r\n" is exactly
+  // one repair (the trailing comma), not two.
+  std::stringstream ss("100,7,1024,0,1,\r\n");
+  CsvReadStats stats;
+  const TraceSet ts = read_csv(ss, &stats);
+  EXPECT_EQ(stats.rows, 1u);
+  EXPECT_EQ(stats.repaired, 1u);
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts.records()[0].outstanding, 1u);
+}
+
+TEST(TraceIo, CsvEmptyFieldRowIsSkipped) {
+  // ",,,," parses to five empty fields — malformed, not repairable.
+  std::stringstream ss("100,7,1024,0,0\n,,,,\n");
+  CsvReadStats stats;
+  read_csv(ss, &stats);
+  EXPECT_EQ(stats.rows, 1u);
+  EXPECT_EQ(stats.skipped, 1u);
+  EXPECT_EQ(stats.repaired, 0u);
+}
+
 }  // namespace
 }  // namespace ess::trace

@@ -52,5 +52,56 @@ TEST(RingBuffer, CapacityReported) {
   EXPECT_EQ(rb.capacity(), 7u);
 }
 
+TEST(RingBuffer, CapacityZeroDropsEverything) {
+  // Instrumentation armed but no buffer configured: every push is a drop,
+  // and the (empty) deque is never touched.
+  RingBuffer rb(0);
+  for (int i = 0; i < 100; ++i) rb.push(rec(static_cast<SimTime>(i)));
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.pushed(), 100u);
+  EXPECT_EQ(rb.dropped(), 100u);
+  EXPECT_TRUE(rb.drain(10).empty());
+}
+
+TEST(RingBuffer, CapacityOneKeepsOnlyTheNewest) {
+  RingBuffer rb(1);
+  for (int i = 0; i < 4; ++i) rb.push(rec(static_cast<SimTime>(i)));
+  EXPECT_EQ(rb.size(), 1u);
+  EXPECT_EQ(rb.dropped(), 3u);
+  const auto out = rb.drain(8);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].timestamp, 3u);  // drop-oldest: the newest always lands
+}
+
+TEST(RingBuffer, DropOldestPreservesArrivalOrderOfSurvivors) {
+  RingBuffer rb(4);
+  for (int i = 0; i < 10; ++i) rb.push(rec(static_cast<SimTime>(i)));
+  const auto out = rb.drain(4);
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i].timestamp, 6u + i);  // 0..5 dropped, 6..9 in order
+  }
+}
+
+TEST(RingBuffer, PushedEqualsDrainedPlusDroppedPlusResident) {
+  // The conservation invariant overflow accounting must keep, across
+  // interleaved pushes and partial drains.
+  RingBuffer rb(8);
+  std::uint64_t drained = 0;
+  SimTime ts = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 5; ++i) rb.push(rec(ts++));
+    drained += rb.drain(static_cast<std::size_t>(round % 4)).size();
+  }
+  EXPECT_EQ(rb.pushed(), drained + rb.dropped() + rb.size());
+}
+
+TEST(RingBuffer, DrainZeroIsANoOp) {
+  RingBuffer rb(4);
+  rb.push(rec(1));
+  EXPECT_TRUE(rb.drain(0).empty());
+  EXPECT_EQ(rb.size(), 1u);
+}
+
 }  // namespace
 }  // namespace ess::trace

@@ -7,6 +7,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "core/presets.hpp"
 #include "trace/io.hpp"
 
 namespace ess::esstrace {
@@ -45,6 +46,10 @@ void render_result(const telemetry::StreamSummary::Result& r,
       static_cast<unsigned long long>(r.reads),
       static_cast<unsigned long long>(r.writes), r.read_pct, r.write_pct);
   put(out, "max request     %u bytes\n", r.max_request_bytes);
+  if (r.lossy) {
+    put(out, "capture         LOSSY — %llu record(s) known dropped upstream\n",
+        static_cast<unsigned long long>(r.dropped_records));
+  }
   out << "request sizes:\n";
   for (const auto& [size, pct] : r.size_pct) {
     put(out, "  %8lld B  %6.2f%%\n", static_cast<long long>(size), pct);
@@ -145,6 +150,10 @@ int cmd_info(const std::string& path, std::ostream& out, std::ostream& err) {
   } else {
     out << "index           ok\n";
   }
+  if (reader.capture_dropped() > 0) {
+    put(out, "capture drops   %llu record(s) overflowed the kernel ring\n",
+        static_cast<unsigned long long>(reader.capture_dropped()));
+  }
   out << "  chunk     offset   records        t_first..t_last      "
          "sectors\n";
   for (std::size_t i = 0; i < reader.chunks().size(); ++i) {
@@ -221,14 +230,27 @@ int cmd_filter(const std::string& in, const std::string& out_path,
 telemetry::StreamSummary::Result summarize_file(const std::string& path) {
   telemetry::StreamSummary summary;
   std::string name;
+  bool salvage_lossy = false;
   if (sniff_format(path) == TraceFormat::kEsst) {
-    // True streaming: one chunk resident at a time.
+    // True streaming: one chunk resident at a time. A chunk that fails to
+    // decode costs its own records, never the whole characterization.
     std::ifstream file(path, std::ios::binary);
     telemetry::EsstReader reader(file);
     name = reader.meta().experiment;
+    std::uint64_t lost_records = 0;
     for (std::size_t i = 0; i < reader.chunks().size(); ++i) {
-      for (const auto& r : reader.read_chunk(i)) summary.on_record(r);
+      try {
+        for (const auto& r : reader.read_chunk(i)) summary.on_record(r);
+      } catch (const std::runtime_error&) {
+        lost_records += reader.chunks()[i].records;
+      }
     }
+    // Everything that never reached the stream: upstream ring overflow
+    // (trailer) plus chunks lost here or discarded by the salvage scan.
+    summary.on_drops(reader.capture_dropped() + lost_records);
+    // A salvaged file lost its index and possibly a tail of unknown length:
+    // lossy even when no specific record can be pointed at.
+    salvage_lossy = reader.salvaged() || reader.corrupt_chunks() > 0;
     summary.on_finish(reader.duration());
   } else {
     const auto ts = load_any(path);
@@ -236,7 +258,9 @@ telemetry::StreamSummary::Result summarize_file(const std::string& path) {
     for (const auto& r : ts.records()) summary.on_record(r);
     summary.on_finish(ts.duration());
   }
-  return summary.result(name.empty() ? path : name);
+  auto res = summary.result(name.empty() ? path : name);
+  res.lossy = res.lossy || salvage_lossy;
+  return res;
 }
 
 int cmd_stats(const std::string& path, std::ostream& out, std::ostream& err) {
@@ -260,6 +284,87 @@ int cmd_diff(const std::string& a, const std::string& b,
     return d.ok ? 0 : 1;
   } catch (const std::runtime_error& e) {
     err << "esstrace diff: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+int cmd_verify(const std::string& path, std::ostream& out, std::ostream& err) {
+  try {
+    if (sniff_format(path) != TraceFormat::kEsst) {
+      err << "esstrace verify: " << path << " is not an ESST file\n";
+      return 2;
+    }
+    std::ifstream f(path, std::ios::binary);
+    telemetry::EsstReader reader(f);
+    const auto rep = reader.verify();
+    put(out, "file            %s\n", path.c_str());
+    put(out, "index           %s\n",
+        rep.index_ok ? "ok" : "MISSING/BAD — chunk list rebuilt by scan");
+    put(out, "chunks          %zu kept, %zu lost\n", rep.chunks_kept,
+        rep.chunks_lost);
+    put(out, "records         %llu kept, %s%llu lost to damage\n",
+        static_cast<unsigned long long>(rep.records_kept),
+        rep.records_lost_exact ? "" : ">=",
+        static_cast<unsigned long long>(rep.records_lost));
+    put(out, "capture drops   %llu record(s) lost upstream of the file\n",
+        static_cast<unsigned long long>(rep.capture_dropped));
+    if (rep.first_bad_offset > 0) {
+      put(out, "first damage    byte offset %llu\n",
+          static_cast<unsigned long long>(rep.first_bad_offset));
+    }
+    if (rep.clean()) {
+      out << "verdict         CLEAN\n";
+      return 0;
+    }
+    out << "verdict         "
+        << (rep.index_ok ? "LOSSY" : "SALVAGED")
+        << " — usable, but not a complete record of the run\n";
+    return 1;
+  } catch (const std::exception& e) {
+    err << "esstrace verify: " << path << ": " << e.what() << "\n";
+    return 2;
+  }
+}
+
+int cmd_capture(const std::string& experiment, const std::string& out_path,
+                std::ostream& out, std::ostream& err) {
+  try {
+    core::StudyConfig cfg = core::fast_study_config();
+    telemetry::EsstMeta meta;
+    meta.experiment = experiment;
+    meta.seed = cfg.seed;
+    meta.ram_bytes = cfg.node.ram_bytes;
+    telemetry::EsstFileSink sink(out_path, meta);
+    cfg.drain_sink = &sink;
+    core::Study study(cfg);
+    core::RunResult res;
+    if (experiment == "baseline") {
+      res = study.run_baseline();
+    } else if (experiment == "ppm") {
+      res = study.run_single(core::AppKind::kPpm);
+    } else if (experiment == "wavelet") {
+      res = study.run_single(core::AppKind::kWavelet);
+    } else if (experiment == "nbody") {
+      res = study.run_single(core::AppKind::kNBody);
+    } else if (experiment == "combined") {
+      res = study.run_combined();
+    } else {
+      err << "esstrace capture: unknown experiment '" << experiment
+          << "' (baseline|ppm|wavelet|nbody|combined)\n";
+      return 2;
+    }
+    if (sink.failed()) {
+      err << "esstrace capture: " << sink.error() << "\n";
+      return 2;
+    }
+    put(out, "%s: %llu records -> %s (%llu bytes, %.1f s of sim time)\n",
+        experiment.c_str(),
+        static_cast<unsigned long long>(sink.records_written()),
+        out_path.c_str(), static_cast<unsigned long long>(file_size(out_path)),
+        to_seconds(res.run_time));
+    return 0;
+  } catch (const std::exception& e) {
+    err << "esstrace capture: " << e.what() << "\n";
     return 2;
   }
 }

@@ -52,12 +52,32 @@ int cmd_filter(const std::string& in, const std::string& out_path,
 int cmd_stats(const std::string& path, std::ostream& out, std::ostream& err);
 
 /// `diff A B` — compare two traces' characterizations under tolerances.
-/// Returns 0 when within tolerance, 1 when not.
+/// Returns 0 when within tolerance, 1 when not. Lossy inputs (salvaged
+/// files, capture-time drops) are annotated in the output.
 int cmd_diff(const std::string& a, const std::string& b,
              const telemetry::DiffTolerance& tol, std::ostream& out,
              std::ostream& err);
 
+/// `verify FILE` — integrity pass over an ESST capture. Exit codes are the
+/// contract CI scripts key on:
+///   0  clean: indexed, every chunk decodes, no capture-time drops
+///   1  salvaged/lossy: readable, but records were lost at capture time or
+///      chunks were lost to damage — the SalvageReport says which and how
+///      many
+///   2  unreadable: not an ESST file, or the header itself is unusable
+int cmd_verify(const std::string& path, std::ostream& out, std::ostream& err);
+
+/// `capture EXPERIMENT OUT.esst` — run one experiment of the reduced-scale
+/// study (core::fast_study_config) with an ESST drain capture; the producer
+/// of the golden files the CI trace-diff gate compares against.
+/// EXPERIMENT: baseline | ppm | wavelet | nbody | combined.
+int cmd_capture(const std::string& experiment, const std::string& out_path,
+                std::ostream& out, std::ostream& err);
+
 /// Shared by stats/diff: stream any-format input through a StreamSummary.
+/// Damaged ESST chunks are skipped (their records counted as dropped), and
+/// capture-time drops from the trailer flow into the result's lossy
+/// annotation — a damaged file yields a labelled result, not an exception.
 telemetry::StreamSummary::Result summarize_file(const std::string& path);
 
 }  // namespace ess::esstrace

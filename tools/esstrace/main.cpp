@@ -7,6 +7,8 @@
 //   esstrace filter  in.esst out.esst --after 50 --before 120 --writes
 //   esstrace stats   trace.esst
 //   esstrace diff    golden.esst new.esst --pct-tol 2
+//   esstrace verify  trace.esst           (exit 0 clean / 1 lossy / 2 bad)
+//   esstrace capture baseline golden.esst (reduced-scale study run)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,7 +38,13 @@ int usage(std::ostream& os, int code) {
         "          --rel-tol R   relative tolerance on scalars (default "
         "0.05)\n"
         "          --topk K      hot-sector set size (default 5)\n"
-        "          --overlap F   min top-K overlap fraction (default 0.6)\n";
+        "          --overlap F   min top-K overlap fraction (default 0.6)\n"
+        "  verify  FILE                 integrity pass over an ESST capture\n"
+        "                               exit 0 = clean, 1 = salvaged/lossy,\n"
+        "                               2 = unreadable\n"
+        "  capture EXPERIMENT OUT.esst  run one reduced-scale experiment\n"
+        "                               (baseline|ppm|wavelet|nbody|combined)\n"
+        "                               and write its ESST capture\n";
   return code;
 }
 
@@ -121,6 +129,12 @@ int main(int argc, char** argv) {
     }
     if (cmd == "diff" && paths.size() == 2) {
       return cmd_diff(paths[0], paths[1], tol, std::cout, std::cerr);
+    }
+    if (cmd == "verify" && paths.size() == 1) {
+      return cmd_verify(paths[0], std::cout, std::cerr);
+    }
+    if (cmd == "capture" && paths.size() == 2) {
+      return cmd_capture(paths[0], paths[1], std::cout, std::cerr);
     }
   } catch (const std::exception& e) {
     std::cerr << "esstrace: " << e.what() << "\n";
