@@ -20,7 +20,9 @@ int main() {
   const auto s0 = analysis::summarize(base.trace);
 
   core::StudyConfig chk_cfg = bench::study_config();
-  chk_cfg.ppm.checkpoint_every = 15;  // four dumps over the run
+  // Four dumps over the run at either scale (ESS_FAST runs 12 steps; an
+  // interval past the step count would never checkpoint at all).
+  chk_cfg.ppm.checkpoint_every = bench::fast_mode() ? 3 : 15;
   core::Study with_chk(chk_cfg);
   const auto chk = with_chk.run_single(core::AppKind::kPpm);
   const auto s1 = analysis::summarize(chk.trace);

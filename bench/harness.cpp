@@ -1,0 +1,500 @@
+// bench/harness — the unified bench runner.
+//
+// One binary replaces "run every fig/table/ablation target by hand": it
+//   1. runs the five canonical experiments in-process through the parallel
+//      executor (exec::run_jobs) and checks the characterization
+//      invariants the paper's Table 1 and figures pin down (R/W mix,
+//      size classes, request rates);
+//   2. measures single-thread engine throughput (events/sec) with a
+//      schedule/fire and a schedule/cancel microloop;
+//   3. fans the sibling bench binaries (figN_*, table1_*, ablation_*,
+//      ext_*) out over the same thread pool as subprocesses and collects
+//      their exit codes and wall times;
+// and emits the whole picture as BENCH_results.json so the perf
+// trajectory is tracked run over run. Exit code 0 iff every invariant
+// held and every target passed.
+//
+//   harness [--fast] [--jobs N] [--json PATH] [--no-targets] [--no-engine]
+//
+// --fast sets ESS_FAST=1 for this process and every child (the smoke
+// configuration CI uses); --jobs defaults to ESS_JOBS or the hardware
+// concurrency.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/characterize.hpp"
+#include "bench/common.hpp"
+#include "exec/experiments.hpp"
+#include "exec/runner.hpp"
+#include "exec/thread_pool.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace ess;
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+// ---- characterization invariants -----------------------------------------
+
+struct Check {
+  std::string name;
+  bool ok;
+  std::string detail;
+};
+
+/// The Table 1 / figure invariants the CI smoke gate keys on. Tolerances
+/// match the per-figure binaries (±15 pp on app mixes, ±1 pp on the
+/// write-only baseline).
+std::vector<Check> experiment_checks(exec::Experiment e,
+                                     const analysis::TraceSummary& s,
+                                     const analysis::TraceSummary* baseline) {
+  auto near = [](double v, double paper, double tol) {
+    return std::abs(v - paper) <= tol;
+  };
+  std::vector<Check> cs;
+  auto add = [&](std::string name, bool ok, std::string detail) {
+    cs.push_back({std::move(name), ok, std::move(detail)});
+  };
+  const std::string tag = exec::to_string(e);
+  switch (e) {
+    case exec::Experiment::kBaseline:
+      add(tag + ": 0% reads (paper: 0%)", near(s.mix.read_pct, 0.0, 1.0),
+          bench::fmt("%.1f%%", s.mix.read_pct));
+      add(tag + ": ~0.9 req/s (paper: 0.9)",
+          s.mix.requests_per_sec > 0.3 && s.mix.requests_per_sec < 2.0,
+          bench::fmt("%.2f/s", s.mix.requests_per_sec));
+      break;
+    case exec::Experiment::kPpm:
+      add(tag + ": ~4% reads (paper: 4%)", near(s.mix.read_pct, 4.0, 15.0),
+          bench::fmt("%.1f%%", s.mix.read_pct));
+      add(tag + ": 1 KB class present", s.pct_1k > 10.0,
+          bench::fmt("%.1f%% at 1 KB", s.pct_1k));
+      break;
+    case exec::Experiment::kWavelet:
+      add(tag + ": ~49% reads (paper: 49%)", near(s.mix.read_pct, 49.0, 15.0),
+          bench::fmt("%.1f%%", s.mix.read_pct));
+      add(tag + ": 4 KB paging class present", s.pct_4k > 10.0,
+          bench::fmt("%.1f%% at 4 KB", s.pct_4k));
+      break;
+    case exec::Experiment::kNBody:
+      // The ~13% read share only converges at the paper's full step count;
+      // the scale-independent invariant (fig4's) is write dominance.
+      add(tag + ": write dominated (paper: 87%)",
+          s.mix.write_pct > (bench::fast_mode() ? 50.0 : 60.0),
+          bench::fmt("%.1f%%", s.mix.write_pct));
+      break;
+    case exec::Experiment::kCombined:
+      if (baseline != nullptr) {
+        add(tag + ": rate >> baseline",
+            s.mix.requests_per_sec > baseline->mix.requests_per_sec * 3,
+            bench::fmt("%.2f/s", s.mix.requests_per_sec) + " vs " +
+                bench::fmt("%.2f/s", baseline->mix.requests_per_sec));
+      }
+      add(tag + ": 16-32 KB class appears",
+          s.max_request_bytes > 16 * 1024 &&
+              s.max_request_bytes <= 32 * 1024,
+          bench::fmt("max %.0f KB", s.max_request_bytes / 1024.0));
+      break;
+  }
+  return cs;
+}
+
+// ---- engine microbenchmarks ----------------------------------------------
+
+struct EngineBench {
+  double fire_events_per_sec = 0;
+  double cancel_events_per_sec = 0;
+};
+
+/// Single-thread engine throughput. schedule/fire exercises the slab and
+/// the SmallFunction path end to end; schedule/cancel exercises the
+/// generation-stamp bookkeeping that replaced the hash maps.
+EngineBench engine_microbench() {
+  EngineBench out;
+  constexpr std::uint64_t kEvents = 2'000'000;
+  {
+    sim::Engine eng;
+    std::uint64_t sum = 0;
+    const double t0 = now_seconds();
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      eng.schedule_at(i, [&sum, i] { sum += i; });
+      if ((i & 1023) == 1023) eng.run_until(i);
+    }
+    eng.run_until(kEvents);
+    const double dt = now_seconds() - t0;
+    if (sum == 0) std::abort();  // keep the loop observable
+    out.fire_events_per_sec = static_cast<double>(kEvents) / dt;
+  }
+  {
+    sim::Engine eng;
+    std::uint64_t fired = 0;
+    const double t0 = now_seconds();
+    for (std::uint64_t i = 0; i < kEvents; ++i) {
+      const auto id = eng.schedule_at(i, [&fired] { ++fired; });
+      if ((i & 1) == 0) eng.cancel(id);  // half the events are cancelled
+      if ((i & 1023) == 1023) eng.run_until(i);
+    }
+    eng.run_until(kEvents);
+    const double dt = now_seconds() - t0;
+    out.cancel_events_per_sec = static_cast<double>(kEvents) / dt;
+  }
+  return out;
+}
+
+// ---- subprocess bench targets --------------------------------------------
+
+/// Every standalone bench binary the harness supervises (micro_substrate
+/// is google-benchmark-paced and excluded).
+const char* const kTargets[] = {
+    "fig1_baseline",       "fig2_ppm",
+    "fig3_wavelet",        "fig4_nbody",
+    "fig5_combined_size",  "fig6_combined_sectors",
+    "fig7_spatial",        "fig8_temporal",
+    "table1_rw_mix",       "ablation_trace_overhead",
+    "ablation_readahead",  "ablation_elevator",
+    "ablation_memory",     "ablation_atime",
+    "ext_synthetic_match", "ext_pious_striping",
+    "ext_cluster_average", "ext_replay_tuning",
+    "ext_region_decomposition",
+    "ext_checkpoint_class", "ext_parallel_machine",
+};
+
+struct TargetOutcome {
+  std::string name;
+  int exit_code = -1;  // -1: binary not found (skipped)
+  double wall_seconds = 0;
+};
+
+TargetOutcome run_target(const std::filesystem::path& bin_dir,
+                         const std::string& name,
+                         const std::string& log_dir) {
+  TargetOutcome out;
+  out.name = name;
+  const auto bin = bin_dir / name;
+  std::error_code ec;
+  if (!std::filesystem::exists(bin, ec)) return out;
+  std::string cmd = "'";
+  cmd += bin.string();
+  cmd += "' > '";
+  cmd += log_dir;
+  cmd += "/";
+  cmd += name;
+  cmd += ".log' 2>&1";
+  const double t0 = now_seconds();
+  const int rc = std::system(cmd.c_str());
+  out.wall_seconds = now_seconds() - t0;
+  out.exit_code = rc == -1 ? 127 : (rc & 0x7f) != 0 ? 128 : (rc >> 8) & 0xff;
+  return out;
+}
+
+// ---- JSON ----------------------------------------------------------------
+
+/// Minimal JSON writer: enough for this schema, no dependency.
+class Json {
+ public:
+  explicit Json(std::ostream& os) : os_(os) {}
+  void open(char c) {
+    comma();
+    os_ << c;
+    fresh_ = true;
+  }
+  void close(char c) {
+    os_ << c;
+    fresh_ = false;
+  }
+  void key(const char* k) {
+    comma();
+    str(k);
+    os_ << ':';
+    fresh_ = true;
+  }
+  void value(const std::string& s) {
+    comma();
+    str(s);
+  }
+  void value(double v) {
+    comma();
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    os_ << buf;
+  }
+  void value(std::uint64_t v) {
+    comma();
+    os_ << v;
+  }
+  void value(bool b) {
+    comma();
+    os_ << (b ? "true" : "false");
+  }
+
+ private:
+  void comma() {
+    if (!fresh_) os_ << ',';
+    fresh_ = false;
+  }
+  void str(const std::string& s) {
+    os_ << '"';
+    for (const char c : s) {
+      if (c == '"' || c == '\\') os_ << '\\' << c;
+      else if (c == '\n') os_ << "\\n";
+      else if (static_cast<unsigned char>(c) < 0x20) os_ << ' ';
+      else os_ << c;
+    }
+    os_ << '"';
+  }
+  std::ostream& os_;
+  bool fresh_ = true;
+};
+
+struct ExperimentRow {
+  std::string name;
+  double wall_seconds = 0;
+  double sim_seconds = 0;
+  std::uint64_t events_fired = 0;
+  std::uint64_t records = 0;
+  analysis::TraceSummary summary;
+  bool checks_ok = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t jobs = exec::default_workers();
+  std::string json_path = "BENCH_results.json";
+  bool run_targets = true;
+  bool run_engine = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fast") {
+      setenv("ESS_FAST", "1", 1);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--no-targets") {
+      run_targets = false;
+    } else if (arg == "--no-engine") {
+      run_engine = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: harness [--fast] [--jobs N] [--json PATH] "
+                   "[--no-targets] [--no-engine]\n");
+      return 2;
+    }
+  }
+
+  const double t_start = now_seconds();
+  std::printf("bench/harness: %zu worker(s)%s\n", jobs,
+              bench::fast_mode() ? ", ESS_FAST=1" : "");
+
+  // 1. The canonical experiment matrix, through the parallel executor.
+  std::vector<exec::JobSpec> specs;
+  for (const exec::Experiment e : exec::all_experiments()) {
+    exec::JobSpec spec;
+    spec.name = exec::to_string(e);
+    spec.config = bench::study_config();
+    spec.experiment = e;
+    specs.push_back(std::move(spec));
+  }
+  const auto outcomes = exec::run_jobs(specs, jobs);
+
+  std::vector<ExperimentRow> rows;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    ExperimentRow row;
+    row.name = outcomes[i].name;
+    row.wall_seconds = outcomes[i].wall_seconds;
+    row.sim_seconds = to_seconds(outcomes[i].run.run_time);
+    row.events_fired = outcomes[i].run.events_fired;
+    row.records = outcomes[i].run.trace.size();
+    row.summary = analysis::summarize(outcomes[i].run.trace);
+    rows.push_back(std::move(row));
+  }
+
+  bool all_ok = true;
+  std::vector<Check> checks;
+  const analysis::TraceSummary* baseline = &rows[0].summary;
+  std::printf("\nCharacterization invariants:\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto e = specs[i].experiment;
+    for (auto& c : experiment_checks(e, rows[i].summary,
+                                     e == exec::Experiment::kCombined
+                                         ? baseline
+                                         : nullptr)) {
+      c.ok = bench::check(c.name.c_str(), c.ok, c.detail);
+      rows[i].checks_ok &= c.ok;
+      all_ok &= c.ok;
+      checks.push_back(std::move(c));
+    }
+  }
+
+  std::printf("\nPer-experiment timings:\n");
+  std::printf("  %-10s %9s %12s %12s %12s\n", "experiment", "wall s",
+              "events", "events/s", "records/s");
+  for (const auto& row : rows) {
+    std::printf("  %-10s %9.2f %12llu %12.0f %12.0f\n", row.name.c_str(),
+                row.wall_seconds,
+                static_cast<unsigned long long>(row.events_fired),
+                row.wall_seconds > 0 ? static_cast<double>(row.events_fired) /
+                                           row.wall_seconds
+                                     : 0.0,
+                row.wall_seconds > 0 ? static_cast<double>(row.records) /
+                                           row.wall_seconds
+                                     : 0.0);
+  }
+
+  // 2. Single-thread engine throughput.
+  EngineBench eng;
+  if (run_engine) {
+    eng = engine_microbench();
+    std::printf("\nEngine microbench (single thread):\n");
+    std::printf("  schedule+fire:   %12.0f events/s\n",
+                eng.fire_events_per_sec);
+    std::printf("  schedule+cancel: %12.0f events/s\n",
+                eng.cancel_events_per_sec);
+  }
+
+  // 3. Every standalone bench target, fanned out as subprocesses.
+  std::vector<TargetOutcome> targets;
+  if (run_targets) {
+    const auto bin_dir =
+        std::filesystem::absolute(std::filesystem::path(argv[0]))
+            .parent_path();
+    const std::string log_dir = bench::out_dir() + "/logs";
+    std::filesystem::create_directories(log_dir);
+    std::vector<std::function<TargetOutcome()>> tjobs;
+    for (const char* name : kTargets) {
+      tjobs.emplace_back([&bin_dir, name, &log_dir] {
+        return run_target(bin_dir, name, log_dir);
+      });
+    }
+    targets = exec::run_ordered(std::move(tjobs), jobs);
+    std::printf("\nBench targets (logs in %s):\n", log_dir.c_str());
+    for (const auto& t : targets) {
+      if (t.exit_code < 0) {
+        std::printf("  [--] %-26s not built\n", t.name.c_str());
+        continue;
+      }
+      const bool ok = t.exit_code == 0;
+      all_ok &= ok;
+      std::printf("  [%s] %-26s exit %d  %7.2f s\n", ok ? "OK" : "!!",
+                  t.name.c_str(), t.exit_code, t.wall_seconds);
+    }
+  }
+
+  const double total_wall = now_seconds() - t_start;
+  double serial_estimate = 0;
+  for (const auto& row : rows) serial_estimate += row.wall_seconds;
+  for (const auto& t : targets) serial_estimate += t.wall_seconds;
+
+  // 4. BENCH_results.json.
+  {
+    std::ofstream f(json_path);
+    Json j(f);
+    j.open('{');
+    j.key("schema");
+    j.value(std::string("ess-bench-results-v1"));
+    j.key("fast_mode");
+    j.value(bench::fast_mode());
+    j.key("jobs");
+    j.value(static_cast<std::uint64_t>(jobs));
+    j.key("total_wall_seconds");
+    j.value(total_wall);
+    j.key("serial_wall_seconds_estimate");
+    j.value(serial_estimate);
+    j.key("parallel_speedup_estimate");
+    j.value(total_wall > 0 ? serial_estimate / total_wall : 0.0);
+    if (run_engine) {
+      j.key("engine");
+      j.open('{');
+      j.key("schedule_fire_events_per_sec");
+      j.value(eng.fire_events_per_sec);
+      j.key("schedule_cancel_events_per_sec");
+      j.value(eng.cancel_events_per_sec);
+      j.close('}');
+    }
+    j.key("experiments");
+    j.open('[');
+    for (const auto& row : rows) {
+      j.open('{');
+      j.key("name");
+      j.value(row.name);
+      j.key("wall_seconds");
+      j.value(row.wall_seconds);
+      j.key("sim_seconds");
+      j.value(row.sim_seconds);
+      j.key("events_fired");
+      j.value(row.events_fired);
+      j.key("events_per_sec");
+      j.value(row.wall_seconds > 0
+                  ? static_cast<double>(row.events_fired) / row.wall_seconds
+                  : 0.0);
+      j.key("records");
+      j.value(row.records);
+      j.key("records_per_sec");
+      j.value(row.wall_seconds > 0
+                  ? static_cast<double>(row.records) / row.wall_seconds
+                  : 0.0);
+      j.key("read_pct");
+      j.value(row.summary.mix.read_pct);
+      j.key("write_pct");
+      j.value(row.summary.mix.write_pct);
+      j.key("requests_per_sec");
+      j.value(row.summary.mix.requests_per_sec);
+      j.key("pct_1k");
+      j.value(row.summary.pct_1k);
+      j.key("pct_4k");
+      j.value(row.summary.pct_4k);
+      j.key("max_request_bytes");
+      j.value(static_cast<std::uint64_t>(row.summary.max_request_bytes));
+      j.key("checks_passed");
+      j.value(row.checks_ok);
+      j.close('}');
+    }
+    j.close(']');
+    j.key("invariants");
+    j.open('[');
+    for (const auto& c : checks) {
+      j.open('{');
+      j.key("name");
+      j.value(c.name);
+      j.key("ok");
+      j.value(c.ok);
+      j.key("detail");
+      j.value(c.detail);
+      j.close('}');
+    }
+    j.close(']');
+    j.key("targets");
+    j.open('[');
+    for (const auto& t : targets) {
+      j.open('{');
+      j.key("name");
+      j.value(t.name);
+      j.key("exit_code");
+      j.value(static_cast<double>(t.exit_code));
+      j.key("wall_seconds");
+      j.value(t.wall_seconds);
+      j.close('}');
+    }
+    j.close(']');
+    j.close('}');
+    f << '\n';
+  }
+
+  std::printf("\n%s in %.2f s (serial estimate %.2f s, ~%.2fx); %s\n",
+              all_ok ? "PASS" : "FAIL", total_wall, serial_estimate,
+              total_wall > 0 ? serial_estimate / total_wall : 0.0,
+              json_path.c_str());
+  return all_ok ? 0 : 1;
+}

@@ -106,6 +106,7 @@ RunResult Study::run_baseline() {
   res.trace.rebase(t0);
   res.trace.set_duration(cfg_.baseline_duration);
   res.run_time = cfg_.baseline_duration;
+  res.events_fired = node.engine().fired();
   return res;
 }
 
@@ -172,6 +173,7 @@ RunResult Study::run_custom(const std::string& name,
   tap.finish(node.now());
   res.trace.rebase(t0);
   res.run_time = res.trace.duration();
+  res.events_fired = node.engine().fired();
   return res;
 }
 

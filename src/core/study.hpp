@@ -63,6 +63,10 @@ struct RunResult {
   trace::TraceSet trace;
   bool completed = true;     // all processes finished before the cap
   SimTime run_time = 0;      // virtual time from tracing-on to collection
+  /// Simulation events the node's engine fired over the whole run (setup
+  /// included) — the denominator-free work metric the bench harness turns
+  /// into events/sec.
+  std::uint64_t events_fired = 0;
 };
 
 /// Cached phase-A outputs (real numerics + op traces).

@@ -1,0 +1,69 @@
+// run_ordered: deterministic fan-out of independent jobs over a ThreadPool.
+//
+// Each job writes into its own pre-sized slot, so results come back in
+// submission order regardless of completion order — a parallel run is
+// indistinguishable from a serial loop to the caller. Exceptions are
+// captured per slot and the first one (by submission index, not by time)
+// is rethrown after every job has finished, so error behavior is
+// deterministic too.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace ess::exec {
+
+template <typename Job>
+auto run_ordered(ThreadPool& pool, std::vector<Job> jobs)
+    -> std::vector<decltype(jobs.front()())> {
+  using R = decltype(jobs.front()());
+  const std::size_t n = jobs.size();
+  std::vector<std::optional<R>> slots(n);
+  std::vector<std::exception_ptr> errors(n);
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t done = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([&, i] {
+      try {
+        slots[i].emplace(jobs[i]());
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      std::unique_lock<std::mutex> lock(mu);
+      ++done;
+      done_cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] { return done == n; });
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+  std::vector<R> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(std::move(*slots[i]));
+  return out;
+}
+
+/// Convenience: a one-shot pool of `workers` threads (0 = inline serial).
+template <typename Job>
+auto run_ordered(std::vector<Job> jobs, std::size_t workers)
+    -> std::vector<decltype(jobs.front()())> {
+  ThreadPool pool(workers);
+  return run_ordered(pool, std::move(jobs));
+}
+
+}  // namespace ess::exec

@@ -1,0 +1,61 @@
+// A fixed-size thread pool for running independent experiments in parallel.
+//
+// The simulator itself is single-threaded by design (one virtual clock per
+// node/cluster, FIFO event order — see sim::Engine); what parallelizes is
+// the *experiment matrix*: every figure, ablation, and fault-matrix cell is
+// a self-contained job with its own Engine, Study, and FaultPlan, sharing
+// nothing but immutable configuration. The pool runs those jobs across OS
+// threads; determinism is preserved because no job can observe another.
+//
+// `workers == 0` degenerates to inline execution on the submitting thread —
+// the serial reference path goes through the exact same code.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ess::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (0 = run every job inline in submit()).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Joins after draining the queue; submitted jobs all run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workers() const { return threads_.size(); }
+
+  /// Enqueue a job. Jobs must not throw (wrap and capture instead — see
+  /// run_ordered, which stores exceptions per slot and rethrows in order).
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for jobs
+  std::condition_variable idle_cv_;   // wait_idle waits for quiescence
+  std::size_t running_ = 0;
+  bool stop_ = false;
+};
+
+/// Worker-count default for experiment fan-out: the ESS_JOBS environment
+/// variable when set (0 allowed: inline serial), else the hardware thread
+/// count, else 1.
+std::size_t default_workers();
+
+}  // namespace ess::exec

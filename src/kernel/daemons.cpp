@@ -102,7 +102,7 @@ void NodeKernel::force_trace_drain(std::size_t batch_limit) {
   fs_->append(trace_ino_,
               batch.size() * std::uint64_t{cfg_.trace_record_bytes});
   if (drain_sink_ != nullptr) {
-    for (const auto& r : batch) drain_sink_->on_record(r);
+    drain_sink_->on_records(batch.data(), batch.size());
   }
   capture_.insert(capture_.end(), batch.begin(), batch.end());
 }

@@ -1,17 +1,41 @@
 #include "sim/engine.hpp"
 
-#include <memory>
 #include <stdexcept>
 #include <utility>
 
 namespace ess::sim {
 
+std::uint32_t Engine::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = nodes_[slot].next_free;
+    return slot;
+  }
+  nodes_.emplace_back();
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void Engine::release_slot(std::uint32_t slot) {
+  Node& n = nodes_[slot];
+  n.cb.reset();
+  n.live = false;
+  // A bumped generation invalidates every outstanding id and queue entry
+  // for this slot; skip 0 so a real EventId is never 0.
+  if (++n.gen == 0) n.gen = 1;
+  n.next_free = free_head_;
+  free_head_ = slot;
+  --live_;
+}
+
 EventId Engine::schedule_at(SimTime when, Callback cb) {
   if (when < now_) throw std::logic_error("Engine: scheduling in the past");
-  const EventId id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
-  return id;
+  const std::uint32_t slot = acquire_slot();
+  Node& n = nodes_[slot];
+  n.cb = std::move(cb);
+  n.live = true;
+  queue_.push(Entry{when, next_seq_++, slot, n.gen});
+  ++live_;
+  return (std::uint64_t{slot} << 32) | n.gen;
 }
 
 EventId Engine::schedule_after(SimTime delay, Callback cb) {
@@ -20,16 +44,17 @@ EventId Engine::schedule_after(SimTime delay, Callback cb) {
 
 namespace {
 
-// Re-arms itself while the user callback returns true. Each re-arm copies
-// this object (sharing the callback), so ownership follows the pending
-// event — no self-referencing closure to keep alive (or leak).
+// Re-arms itself while the user callback returns true. Each re-arm moves
+// this object (and the callback inside it) into the next pending event, so
+// ownership follows the event — no self-referencing closure to keep alive,
+// and no per-tick allocation (the task fits SmallFunction's inline buffer).
 struct PeriodicTask {
   Engine* engine;
   SimTime period;
-  std::shared_ptr<std::function<bool()>> cb;
+  std::function<bool()> cb;
 
-  void operator()() const {
-    if ((*cb)()) engine->schedule_after(period, *this);
+  void operator()() {
+    if (cb()) engine->schedule_after(period, std::move(*this));
   }
 };
 
@@ -37,32 +62,26 @@ struct PeriodicTask {
 
 void Engine::schedule_periodic(SimTime first_delay, SimTime period,
                                std::function<bool()> cb) {
-  schedule_after(
-      first_delay,
-      PeriodicTask{this, period,
-                   std::make_shared<std::function<bool()>>(std::move(cb))});
+  schedule_after(first_delay, PeriodicTask{this, period, std::move(cb)});
 }
 
 bool Engine::cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+  const auto slot = static_cast<std::uint32_t>(id >> 32);
+  const auto gen = static_cast<std::uint32_t>(id);
+  if (slot >= nodes_.size()) return false;
+  Node& n = nodes_[slot];
+  if (!n.live || n.gen != gen) return false;  // fired, cancelled, or reused
+  release_slot(slot);  // the queue entry goes stale and is skipped on pop
   return true;
 }
 
 bool Engine::step() {
   while (!queue_.empty()) {
-    const Event ev = queue_.top();
+    const Entry ev = queue_.top();
     queue_.pop();
-    if (const auto c = cancelled_.find(ev.id); c != cancelled_.end()) {
-      cancelled_.erase(c);
-      continue;
-    }
-    const auto it = callbacks_.find(ev.id);
-    if (it == callbacks_.end()) continue;  // defensive; shouldn't happen
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
+    if (!entry_live(ev)) continue;  // cancelled; slot possibly reused
+    Callback cb = std::move(nodes_[ev.slot].cb);
+    release_slot(ev.slot);  // before invoking: the callback may reschedule
     now_ = ev.when;
     ++fired_;
     cb();
@@ -76,13 +95,7 @@ void Engine::run_until(SimTime t) {
     // Drop cancelled events at the head so top() is the next live event;
     // otherwise step() could skip past a cancelled head and fire an event
     // beyond t.
-    while (!queue_.empty()) {
-      const Event ev = queue_.top();
-      const auto c = cancelled_.find(ev.id);
-      if (c == cancelled_.end()) break;
-      cancelled_.erase(c);
-      queue_.pop();
-    }
+    while (!queue_.empty() && !entry_live(queue_.top())) queue_.pop();
     if (queue_.empty() || queue_.top().when > t) break;
     step();
   }

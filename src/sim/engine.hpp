@@ -3,25 +3,34 @@
 // A single monotonic virtual clock and a priority queue of callbacks.
 // Events scheduled at the same time fire in scheduling order (FIFO via a
 // monotonically increasing sequence number), which keeps runs deterministic.
+//
+// Hot-path layout: callbacks live in a slab of recycled nodes (no per-event
+// heap allocation for small captures — see SmallFunction) and the priority
+// queue holds 24-byte POD entries. An EventId is a (slot, generation) pair:
+// cancellation bumps the slot's generation, so a stale queue entry or a
+// reused id can never fire or cancel the wrong event — the bookkeeping that
+// used to cost an unordered_map plus an unordered_set touch per event is a
+// vector index and a generation compare.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "util/sim_time.hpp"
+#include "util/small_function.hpp"
 
 namespace ess::sim {
 
-/// Identifies a scheduled event so it can be cancelled.
+/// Identifies a scheduled event so it can be cancelled. Packs the slab slot
+/// (high 32 bits) and the slot's generation at scheduling time (low 32
+/// bits); never 0 for a real event.
 using EventId = std::uint64_t;
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFunction<void()>;
 
   /// Current virtual time.
   SimTime now() const { return now_; }
@@ -38,8 +47,8 @@ class Engine {
   void schedule_periodic(SimTime first_delay, SimTime period,
                          std::function<bool()> cb);
 
-  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
-  /// no-op. Returns true if the event was pending.
+  /// Cancel a pending event. Cancelling an already-fired, cancelled, or
+  /// unknown id is a no-op. Returns true if the event was pending.
   bool cancel(EventId id);
 
   /// Run the single earliest pending event; returns false if none pending.
@@ -57,32 +66,52 @@ class Engine {
   /// Run until no events remain.
   void run();
 
-  /// Number of events waiting (including cancelled-but-not-popped ones).
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  /// Number of events scheduled and not yet fired or cancelled.
+  std::size_t pending() const { return live_; }
 
   /// Total events fired since construction (for tests / sanity checks).
   std::uint64_t fired() const { return fired_; }
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  struct Node {
+    Callback cb;
+    std::uint32_t gen = 1;             // bumped on every release
+    std::uint32_t next_free = kNilSlot;
+    bool live = false;
+  };
+
+  /// Queue entry: POD, ordered by (when, seq). `gen` detects stale entries
+  /// whose event was cancelled (the slot may have been reused since).
+  struct Entry {
     SimTime when;
     std::uint64_t seq;
-    EventId id;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
+  bool entry_live(const Entry& e) const {
+    const Node& n = nodes_[e.slot];
+    return n.live && n.gen == e.gen;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::uint64_t fired_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_map<EventId, Callback> callbacks_;
-  std::unordered_set<EventId> cancelled_;
+  std::size_t live_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::vector<Node> nodes_;
+  std::uint32_t free_head_ = kNilSlot;
 };
 
 }  // namespace ess::sim

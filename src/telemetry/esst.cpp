@@ -99,10 +99,10 @@ void encode_record(std::vector<std::uint8_t>& out, const trace::Record& r,
                        (r.is_write ? 1u : 0u));
 }
 
-std::vector<trace::Record> decode_payload(const std::uint8_t* p,
-                                          std::size_t len,
-                                          std::uint32_t count) {
-  std::vector<trace::Record> out;
+void decode_payload_into(const std::uint8_t* p, std::size_t len,
+                         std::uint32_t count,
+                         std::vector<trace::Record>& out) {
+  out.clear();
   out.reserve(count);
   trace::Record prev;
   std::size_t pos = 0;
@@ -128,7 +128,6 @@ std::vector<trace::Record> decode_payload(const std::uint8_t* p,
   if (pos != len) {
     throw std::runtime_error("esst: chunk payload has trailing bytes");
   }
-  return out;
 }
 
 void write_bytes(std::ostream& os, const void* p, std::size_t n) {
@@ -273,6 +272,11 @@ void EsstWriter::finish(SimTime duration) {
 // ---------------------------------------------------------------- file sink
 
 struct EsstFileSink::Impl {
+  // Owned-file mode: a wide stream buffer (vs. the 8 KB libstdc++ default)
+  // so a long capture syscalls once per ~quarter-MB of trace, not once per
+  // chunk flush. Must be installed before open() to take effect.
+  static constexpr std::size_t kFileBufBytes = 256 * 1024;
+  std::vector<char> iobuf;
   std::ofstream file;         // owned stream (path constructor)
   std::ostream* os = nullptr; // the stream the writer targets
   std::unique_ptr<EsstWriter> writer;
@@ -293,6 +297,10 @@ struct EsstFileSink::Impl {
 
 EsstFileSink::EsstFileSink(const std::string& path, EsstMeta meta)
     : impl_(std::make_unique<Impl>()) {
+  impl_->iobuf.resize(Impl::kFileBufBytes);
+  impl_->file.rdbuf()->pubsetbuf(impl_->iobuf.data(),
+                                 static_cast<std::streamsize>(
+                                     impl_->iobuf.size()));
   impl_->file.open(path, std::ios::binary | std::ios::trunc);
   if (!impl_->file) throw std::runtime_error("esst: cannot open " + path);
   impl_->os = &impl_->file;
@@ -313,6 +321,17 @@ void EsstFileSink::on_record(const trace::Record& r) {
     impl_->writer->append(r);
     impl_->records = impl_->writer->records_written();
   } catch (const std::exception& e) {
+    impl_->latch("esst sink: append", e);
+  }
+}
+
+void EsstFileSink::on_records(const trace::Record* r, std::size_t n) {
+  if (!impl_->writer) return;
+  try {
+    for (std::size_t i = 0; i < n; ++i) impl_->writer->append(r[i]);
+    impl_->records = impl_->writer->records_written();
+  } catch (const std::exception& e) {
+    impl_->records = impl_->writer->records_written();
     impl_->latch("esst sink: append", e);
   }
 }
@@ -522,14 +541,16 @@ SalvageReport EsstReader::verify() {
   rep.index_ok = !salvaged_;
   rep.capture_dropped = capture_dropped_;
   const std::uint64_t size = stream_size(is_);
-  std::vector<std::uint8_t> payload;
+  std::vector<trace::Record> recs;
   for (const auto& c : chunks_) {
     ChunkInfo info;
     bool crc_ok = false;
     bool decoded = false;
-    if (read_chunk_at(is_, c.offset, size, info, payload, crc_ok) && crc_ok) {
+    if (read_chunk_at(is_, c.offset, size, info, payload_scratch_, crc_ok) &&
+        crc_ok) {
       try {
-        decode_payload(payload.data(), payload.size(), info.records);
+        decode_payload_into(payload_scratch_.data(), payload_scratch_.size(),
+                            info.records, recs);
         decoded = true;
       } catch (const std::runtime_error&) {
         // CRC passed but the payload does not decode — counts as lost.
@@ -564,24 +585,33 @@ SalvageReport EsstReader::verify() {
   return rep;
 }
 
-std::vector<trace::Record> EsstReader::read_chunk(std::size_t idx) {
+void EsstReader::read_chunk_into(std::size_t idx,
+                                 std::vector<trace::Record>& out) {
   const ChunkInfo& c = chunks_.at(idx);
   ChunkInfo read_info;
-  std::vector<std::uint8_t> payload;
   bool crc_ok = false;
-  if (!read_chunk_at(is_, c.offset, stream_size(is_), read_info, payload,
-                     crc_ok)) {
+  if (!read_chunk_at(is_, c.offset, stream_size(is_), read_info,
+                     payload_scratch_, crc_ok)) {
     throw std::runtime_error("esst: chunk unreadable");
   }
   if (!crc_ok) throw std::runtime_error("esst: chunk CRC mismatch");
-  return decode_payload(payload.data(), payload.size(), read_info.records);
+  decode_payload_into(payload_scratch_.data(), payload_scratch_.size(),
+                      read_info.records, out);
+}
+
+std::vector<trace::Record> EsstReader::read_chunk(std::size_t idx) {
+  std::vector<trace::Record> out;
+  read_chunk_into(idx, out);
+  return out;
 }
 
 trace::TraceSet EsstReader::read_all() {
   trace::TraceSet ts(meta_.experiment, meta_.node_id);
+  std::vector<trace::Record> recs;
   for (std::size_t i = 0; i < chunks_.size(); ++i) {
     try {
-      ts.add_all(read_chunk(i));
+      read_chunk_into(i, recs);
+      ts.add_all(recs);
     } catch (const std::runtime_error&) {
       ++corrupt_chunks_;  // indexed file with a damaged chunk body
     }
@@ -606,15 +636,15 @@ bool EsstReader::Filter::record_matches(const trace::Record& r) const {
 trace::TraceSet EsstReader::read_filtered(const Filter& f,
                                           std::size_t* chunks_skipped) {
   trace::TraceSet ts(meta_.experiment, meta_.node_id);
+  std::vector<trace::Record> recs;
   std::size_t skipped = 0;
   for (std::size_t i = 0; i < chunks_.size(); ++i) {
     if (!f.chunk_may_match(chunks_[i])) {
       ++skipped;
       continue;
     }
-    std::vector<trace::Record> recs;
     try {
-      recs = read_chunk(i);
+      read_chunk_into(i, recs);
     } catch (const std::runtime_error&) {
       ++corrupt_chunks_;
       continue;

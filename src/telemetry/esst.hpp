@@ -134,6 +134,9 @@ class EsstFileSink final : public Sink {
   ~EsstFileSink() override;
 
   void on_record(const trace::Record& r) override;
+  /// Bulk path: one failure latch around the whole span instead of one
+  /// try/catch per record (the drain daemon hands over 4096-record spans).
+  void on_records(const trace::Record* r, std::size_t n) override;
   void on_finish(SimTime duration) override;
   void on_drops(std::uint64_t dropped) override;
 
@@ -209,6 +212,12 @@ class EsstReader {
   /// catch and skip instead).
   std::vector<trace::Record> read_chunk(std::size_t idx);
 
+  /// Decode chunk `idx` into `out` (cleared first), reusing `out`'s capacity
+  /// and the reader's internal payload scratch — the allocation-free loop
+  /// for whole-file passes (stats, cat, verify over multi-GB captures).
+  /// Same error behavior as read_chunk.
+  void read_chunk_into(std::size_t idx, std::vector<trace::Record>& out);
+
   trace::TraceSet read_all();
 
   struct Filter {
@@ -232,6 +241,7 @@ class EsstReader {
   std::istream& is_;
   EsstMeta meta_;
   std::vector<ChunkInfo> chunks_;
+  std::vector<std::uint8_t> payload_scratch_;  // reused across chunk reads
   SimTime duration_ = 0;
   bool salvaged_ = false;
   std::size_t corrupt_chunks_ = 0;

@@ -8,6 +8,7 @@
 // can watch a production-length run in flight.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "trace/record.hpp"
@@ -20,6 +21,15 @@ class Sink {
 
   /// One record, in emission order.
   virtual void on_record(const trace::Record& r) = 0;
+
+  /// A contiguous span of records, in emission order — the batch form the
+  /// trace-drain daemon uses so a 4096-record drain pass costs one virtual
+  /// call per sink instead of one per record. Semantically identical to
+  /// calling on_record for each element; sinks with a cheaper bulk path
+  /// (file writers) override it.
+  virtual void on_records(const trace::Record* r, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) on_record(r[i]);
+  }
 
   /// End of stream. `duration` is the wall-clock span of the capture (which
   /// can extend past the last record). Consumers finalize rate metrics here;
@@ -46,6 +56,11 @@ class FanoutSink final : public Sink {
 
   void on_record(const trace::Record& r) override {
     for (Sink* s : sinks_) s->on_record(r);
+  }
+  void on_records(const trace::Record* r, std::size_t n) override {
+    // Per-sink spans, not per-record fanout: each downstream sink gets one
+    // call for the whole batch and applies its own bulk path.
+    for (Sink* s : sinks_) s->on_records(r, n);
   }
   void on_finish(SimTime duration) override {
     for (Sink* s : sinks_) s->on_finish(duration);

@@ -82,12 +82,21 @@ TraceSet read_binary_file(const std::string& path) {
   return read_binary(f);
 }
 
-void write_csv(const TraceSet& ts, std::ostream& os) {
+void write_csv_header(std::ostream& os) {
   os << "timestamp_us,sector,size_bytes,is_write,outstanding\n";
-  for (const auto& r : ts.records()) {
-    os << r.timestamp << ',' << r.sector << ',' << r.size_bytes << ','
-       << static_cast<int>(r.is_write) << ',' << r.outstanding << '\n';
+}
+
+void write_csv_records(const Record* r, std::size_t n, std::ostream& os) {
+  for (std::size_t i = 0; i < n; ++i) {
+    os << r[i].timestamp << ',' << r[i].sector << ',' << r[i].size_bytes
+       << ',' << static_cast<int>(r[i].is_write) << ',' << r[i].outstanding
+       << '\n';
   }
+}
+
+void write_csv(const TraceSet& ts, std::ostream& os) {
+  write_csv_header(os);
+  write_csv_records(ts.records().data(), ts.records().size(), os);
 }
 
 void write_csv_file(const TraceSet& ts, const std::string& path) {

@@ -21,6 +21,12 @@ TraceSet read_binary_file(const std::string& path);
 void write_csv(const TraceSet& ts, std::ostream& os);
 void write_csv_file(const TraceSet& ts, const std::string& path);
 
+/// Streaming CSV: header and record spans separately, so a chunked reader
+/// can emit a capture without materializing the whole TraceSet (esstrace
+/// cat over multi-GB ESST files decodes one chunk at a time).
+void write_csv_header(std::ostream& os);
+void write_csv_records(const Record* r, std::size_t n, std::ostream& os);
+
 /// CSV ingestion (the reverse direction: traces exported by this tool, or
 /// produced by hand / another harness). Tolerant by design — an empty file
 /// is an empty trace, and blank lines, '#' comments, a header row, and

@@ -1,0 +1,113 @@
+// The executor's central promise: a parallel run of the experiment matrix
+// is indistinguishable from a serial loop — same traces, and byte-identical
+// ESST captures for the same seeds and fault plans.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "core/presets.hpp"
+#include "exec/experiments.hpp"
+#include "fault/fault.hpp"
+
+namespace ess::exec {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.is_open()) << path;
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+std::vector<JobSpec> capture_matrix(const std::string& tag) {
+  // PPM and combined (the satellite's two workloads), plus a faulted PPM
+  // cell so the determinism claim covers the fault path too.
+  std::vector<JobSpec> specs;
+  {
+    JobSpec s;
+    s.name = "ppm";
+    s.config = core::fast_study_config();
+    s.experiment = Experiment::kPpm;
+    s.esst_path = ::testing::TempDir() + "/det_" + tag + "_ppm.esst";
+    specs.push_back(std::move(s));
+  }
+  {
+    JobSpec s;
+    s.name = "combined";
+    s.config = core::fast_study_config();
+    s.experiment = Experiment::kCombined;
+    s.esst_path = ::testing::TempDir() + "/det_" + tag + "_combined.esst";
+    specs.push_back(std::move(s));
+  }
+  {
+    JobSpec s;
+    s.name = "ppm-faulted";
+    s.config = core::fast_study_config();
+    s.config.node.fault.seed = 99;
+    s.config.node.fault.disk.transient_error_rate = 0.01;
+    s.config.node.fault.disk.latency_spike_rate = 0.02;
+    s.config.node.fault.disk.latency_spike = msec(5);
+    s.experiment = Experiment::kPpm;
+    s.esst_path = ::testing::TempDir() + "/det_" + tag + "_faulted.esst";
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+TEST(ParallelDeterminism, SerialAndParallelEsstCapturesAreByteIdentical) {
+  const auto serial_specs = capture_matrix("serial");
+  const auto parallel_specs = capture_matrix("parallel");
+
+  const auto serial = run_jobs(serial_specs, /*workers=*/0);
+  const auto parallel = run_jobs(parallel_specs, /*workers=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(serial[i].name);
+    ASSERT_FALSE(serial[i].esst_failed) << serial[i].esst_error;
+    ASSERT_FALSE(parallel[i].esst_failed) << parallel[i].esst_error;
+
+    // The in-memory traces agree record for record...
+    ASSERT_EQ(serial[i].run.trace.size(), parallel[i].run.trace.size());
+    ASSERT_GT(serial[i].run.trace.size(), 0u);
+    EXPECT_EQ(serial[i].run.run_time, parallel[i].run.run_time);
+    EXPECT_EQ(serial[i].run.events_fired, parallel[i].run.events_fired);
+
+    // ...and the captures agree byte for byte.
+    const auto a = slurp(serial[i].esst_path);
+    const auto b = slurp(parallel[i].esst_path);
+    ASSERT_FALSE(a.empty());
+    EXPECT_TRUE(a == b) << "ESST capture differs between serial and "
+                           "parallel executions";
+    std::remove(serial[i].esst_path.c_str());
+    std::remove(parallel[i].esst_path.c_str());
+  }
+}
+
+TEST(ParallelDeterminism, OutcomesKeepSubmissionOrder) {
+  auto specs = capture_matrix("order");
+  for (auto& s : specs) s.esst_path.clear();  // no captures needed
+  const auto outcomes = run_jobs(specs, 4);
+  ASSERT_EQ(outcomes.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(outcomes[i].name, specs[i].name);
+  }
+}
+
+TEST(ParallelDeterminism, BodyJobsRunCustomWork) {
+  JobSpec s;
+  s.name = "custom";
+  s.config = core::fast_study_config();
+  s.body = [](core::Study& study) { return study.run_baseline(); };
+  const auto out = run_jobs({s}, 2);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_GT(out[0].run.trace.size(), 0u);
+  EXPECT_GT(out[0].run.events_fired, 0u);
+}
+
+}  // namespace
+}  // namespace ess::exec

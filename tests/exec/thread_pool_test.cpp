@@ -1,0 +1,109 @@
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exec/runner.hpp"
+
+namespace ess::exec {
+namespace {
+
+TEST(ThreadPool, ZeroWorkersRunsInlineInSubmit) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0u);
+  int ran = 0;
+  pool.submit([&] { ++ran; });
+  // Inline execution: the job already ran, no wait needed.
+  EXPECT_EQ(ran, 1);
+  pool.wait_idle();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPool, RunsEveryJobAcrossWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsTheQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&] { ++count; });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(RunOrdered, ResultsComeBackInSubmissionOrder) {
+  // Jobs with inverted costs: later submissions finish first on a real
+  // pool, yet the result vector must follow submission order.
+  std::vector<std::function<int()>> jobs;
+  for (int i = 0; i < 32; ++i) {
+    jobs.emplace_back([i] {
+      volatile std::uint64_t spin = 0;
+      for (int k = 0; k < (32 - i) * 1000; ++k) {
+        spin = spin + static_cast<std::uint64_t>(k);
+      }
+      return i;
+    });
+  }
+  const auto results = run_ordered(std::move(jobs), 4);
+  std::vector<int> expected(32);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(results, expected);
+}
+
+TEST(RunOrdered, SerialAndParallelAgree) {
+  auto make = [] {
+    std::vector<std::function<int()>> jobs;
+    for (int i = 0; i < 16; ++i) jobs.emplace_back([i] { return i * i; });
+    return jobs;
+  };
+  EXPECT_EQ(run_ordered(make(), 0), run_ordered(make(), 4));
+}
+
+TEST(RunOrdered, FirstExceptionBySubmissionIndexWins) {
+  std::vector<std::function<int()>> jobs;
+  jobs.emplace_back([] { return 1; });
+  jobs.emplace_back([]() -> int { throw std::runtime_error("second"); });
+  jobs.emplace_back([]() -> int { throw std::runtime_error("third"); });
+  jobs.emplace_back([] { return 4; });
+  try {
+    run_ordered(std::move(jobs), 4);
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "second");  // deterministic: by index, not time
+  }
+}
+
+TEST(DefaultWorkers, HonorsEssJobs) {
+  setenv("ESS_JOBS", "3", 1);
+  EXPECT_EQ(default_workers(), 3u);
+  setenv("ESS_JOBS", "0", 1);
+  EXPECT_EQ(default_workers(), 0u);
+  unsetenv("ESS_JOBS");
+  EXPECT_GE(default_workers(), 1u);
+}
+
+}  // namespace
+}  // namespace ess::exec

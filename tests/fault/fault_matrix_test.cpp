@@ -9,9 +9,11 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/presets.hpp"
 #include "core/study.hpp"
+#include "exec/experiments.hpp"
 #include "fault/fault.hpp"
 #include "telemetry/consumers.hpp"
 #include "telemetry/diff.hpp"
@@ -116,6 +118,47 @@ TEST(FaultMatrix, FaultedRunIsDeterministicFromTheSeed) {
     ASSERT_EQ(ra.sector, rb.sector) << "record " << i;
     ASSERT_EQ(ra.size_bytes, rb.size_bytes) << "record " << i;
     ASSERT_EQ(ra.is_write, rb.is_write) << "record " << i;
+  }
+}
+
+TEST(FaultMatrix, CellsThroughTheParallelExecutorMatchSerialRuns) {
+  // The whole tolerance row of the matrix as one parallel fan-out: each
+  // cell is a self-contained job, and every cell's trace must be identical
+  // to the serial run_ppm() of the same plan.
+  FaultPlan transient;
+  transient.disk.transient_error_rate = 0.005;
+  FaultPlan media;
+  media.disk.bad_ranges.push_back({50'000, 50'063});
+  FaultPlan latency;
+  latency.disk.latency_spike_rate = 0.01;
+  latency.disk.latency_spike = msec(10);
+  latency.disk.stall_windows.push_back({sec(30), msec(30'500)});
+
+  const FaultPlan plans[] = {transient, media, latency};
+  std::vector<exec::JobSpec> specs;
+  for (const auto& plan : plans) {
+    exec::JobSpec s;
+    s.name = "ppm";
+    s.config = core::fast_study_config();
+    s.config.node.fault = plan;
+    s.experiment = exec::Experiment::kPpm;
+    specs.push_back(std::move(s));
+  }
+  const auto outcomes = exec::run_jobs(specs, /*workers=*/3);
+  ASSERT_EQ(outcomes.size(), 3u);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    SCOPED_TRACE(i);
+    const auto serial = run_ppm(plans[i]);
+    ASSERT_TRUE(outcomes[i].run.completed);
+    ASSERT_EQ(outcomes[i].run.trace.size(), serial.trace.size());
+    for (std::size_t r = 0; r < serial.trace.size(); ++r) {
+      const auto& ra = outcomes[i].run.trace.records()[r];
+      const auto& rb = serial.trace.records()[r];
+      ASSERT_EQ(ra.timestamp, rb.timestamp) << "record " << r;
+      ASSERT_EQ(ra.sector, rb.sector) << "record " << r;
+      ASSERT_EQ(ra.size_bytes, rb.size_bytes) << "record " << r;
+      ASSERT_EQ(ra.is_write, rb.is_write) << "record " << r;
+    }
   }
 }
 

@@ -359,7 +359,8 @@ TEST(EsstHardening, DropCountSurvivesTheTrailer) {
   std::stringstream ss;
   {
     EsstWriter w(ss, EsstMeta{});
-    for (const auto& r : sample(20).records()) w.append(r);
+    const auto ts = sample(20);  // keep alive: .records() of a temporary
+    for (const auto& r : ts.records()) w.append(r);
     w.set_dropped_records(37);
     w.finish(sec(1));
   }

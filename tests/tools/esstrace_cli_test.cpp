@@ -225,9 +225,10 @@ TEST_F(EsstraceCli, VerifyLossyCaptureExitsOne) {
   {
     std::ofstream f(path, std::ios::binary);
     telemetry::EsstWriter w(f, telemetry::EsstMeta{});
-    for (const auto& r : sample().records()) w.append(r);
+    const auto ts = sample();  // keep alive: range-for over a temporary's
+    for (const auto& r : ts.records()) w.append(r);  // member dangles
     w.set_dropped_records(9);
-    w.finish(sample().duration());
+    w.finish(ts.duration());
   }
   std::ostringstream out, err;
   EXPECT_EQ(cmd_verify(path, out, err), 1) << err.str();

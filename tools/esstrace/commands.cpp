@@ -3,11 +3,14 @@
 #include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <stdexcept>
 
 #include "core/presets.hpp"
+#include "exec/experiments.hpp"
+#include "exec/thread_pool.hpp"
 #include "trace/io.hpp"
 
 namespace ess::esstrace {
@@ -168,7 +171,25 @@ int cmd_info(const std::string& path, std::ostream& out, std::ostream& err) {
 
 int cmd_cat(const std::string& path, std::ostream& out, std::ostream& err) {
   try {
-    trace::write_csv(load_any(path), out);
+    if (sniff_format(path) == TraceFormat::kEsst) {
+      // Stream chunk by chunk through one reused decode buffer instead of
+      // materializing the whole capture; damaged chunks cost only their own
+      // records, matching read_all()'s tolerance.
+      std::ifstream file(path, std::ios::binary);
+      telemetry::EsstReader reader(file);
+      trace::write_csv_header(out);
+      std::vector<trace::Record> recs;
+      for (std::size_t i = 0; i < reader.chunks().size(); ++i) {
+        try {
+          reader.read_chunk_into(i, recs);
+        } catch (const std::runtime_error&) {
+          continue;
+        }
+        trace::write_csv_records(recs.data(), recs.size(), out);
+      }
+    } else {
+      trace::write_csv(load_any(path), out);
+    }
   } catch (const std::runtime_error& e) {
     err << "esstrace cat: " << e.what() << "\n";
     return 2;
@@ -238,9 +259,14 @@ telemetry::StreamSummary::Result summarize_file(const std::string& path) {
     telemetry::EsstReader reader(file);
     name = reader.meta().experiment;
     std::uint64_t lost_records = 0;
+    // One decode buffer reused across every chunk (and the reader reuses
+    // its payload scratch): the whole pass allocates O(largest chunk), not
+    // O(chunk count) — measurable on multi-thousand-chunk captures.
+    std::vector<trace::Record> recs;
     for (std::size_t i = 0; i < reader.chunks().size(); ++i) {
       try {
-        for (const auto& r : reader.read_chunk(i)) summary.on_record(r);
+        reader.read_chunk_into(i, recs);
+        summary.on_records(recs.data(), recs.size());
       } catch (const std::runtime_error&) {
         lost_records += reader.chunks()[i].records;
       }
@@ -326,45 +352,69 @@ int cmd_verify(const std::string& path, std::ostream& out, std::ostream& err) {
   }
 }
 
-int cmd_capture(const std::string& experiment, const std::string& out_path,
-                std::ostream& out, std::ostream& err) {
-  try {
-    core::StudyConfig cfg = core::fast_study_config();
-    telemetry::EsstMeta meta;
-    meta.experiment = experiment;
-    meta.seed = cfg.seed;
-    meta.ram_bytes = cfg.node.ram_bytes;
-    telemetry::EsstFileSink sink(out_path, meta);
-    cfg.drain_sink = &sink;
-    core::Study study(cfg);
-    core::RunResult res;
-    if (experiment == "baseline") {
-      res = study.run_baseline();
-    } else if (experiment == "ppm") {
-      res = study.run_single(core::AppKind::kPpm);
-    } else if (experiment == "wavelet") {
-      res = study.run_single(core::AppKind::kWavelet);
-    } else if (experiment == "nbody") {
-      res = study.run_single(core::AppKind::kNBody);
-    } else if (experiment == "combined") {
-      res = study.run_combined();
-    } else {
-      err << "esstrace capture: unknown experiment '" << experiment
-          << "' (baseline|ppm|wavelet|nbody|combined)\n";
-      return 2;
-    }
-    if (sink.failed()) {
-      err << "esstrace capture: " << sink.error() << "\n";
-      return 2;
+namespace {
+
+/// Shared by capture/capture-all: run the specs through the executor and
+/// report each capture. Returns 0 when every capture wrote cleanly.
+int run_captures(const std::vector<exec::JobSpec>& specs, std::size_t jobs,
+                 std::ostream& out, std::ostream& err) {
+  const auto outcomes = exec::run_jobs(specs, jobs);
+  int rc = 0;
+  for (const auto& o : outcomes) {
+    if (o.esst_failed) {
+      err << "esstrace capture: " << o.name << ": " << o.esst_error << "\n";
+      rc = 2;
+      continue;
     }
     put(out, "%s: %llu records -> %s (%llu bytes, %.1f s of sim time)\n",
-        experiment.c_str(),
-        static_cast<unsigned long long>(sink.records_written()),
-        out_path.c_str(), static_cast<unsigned long long>(file_size(out_path)),
-        to_seconds(res.run_time));
-    return 0;
-  } catch (const std::exception& e) {
-    err << "esstrace capture: " << e.what() << "\n";
+        o.name.c_str(), static_cast<unsigned long long>(o.run.trace.size()),
+        o.esst_path.c_str(),
+        static_cast<unsigned long long>(file_size(o.esst_path)),
+        to_seconds(o.run.run_time));
+  }
+  return rc;
+}
+
+exec::JobSpec capture_spec(exec::Experiment e, const std::string& out_path) {
+  exec::JobSpec spec;
+  spec.name = exec::to_string(e);
+  spec.config = core::fast_study_config();
+  spec.experiment = e;
+  spec.esst_path = out_path;
+  return spec;
+}
+
+}  // namespace
+
+int cmd_capture(const std::string& experiment, const std::string& out_path,
+                std::ostream& out, std::ostream& err) {
+  exec::Experiment e;
+  if (!exec::experiment_from_name(experiment, e)) {
+    err << "esstrace capture: unknown experiment '" << experiment
+        << "' (baseline|ppm|wavelet|nbody|combined)\n";
+    return 2;
+  }
+  try {
+    return run_captures({capture_spec(e, out_path)}, /*jobs=*/1, out, err);
+  } catch (const std::exception& ex) {
+    err << "esstrace capture: " << ex.what() << "\n";
+    return 2;
+  }
+}
+
+int cmd_capture_all(const std::string& dir, std::size_t jobs,
+                    std::ostream& out, std::ostream& err) {
+  try {
+    std::filesystem::create_directories(dir);
+    std::vector<exec::JobSpec> specs;
+    for (const exec::Experiment e : exec::all_experiments()) {
+      specs.push_back(
+          capture_spec(e, dir + "/" + exec::to_string(e) + ".esst"));
+    }
+    return run_captures(specs, jobs == 0 ? exec::default_workers() : jobs,
+                        out, err);
+  } catch (const std::exception& ex) {
+    err << "esstrace capture-all: " << ex.what() << "\n";
     return 2;
   }
 }

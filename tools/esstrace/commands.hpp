@@ -74,6 +74,15 @@ int cmd_verify(const std::string& path, std::ostream& out, std::ostream& err);
 int cmd_capture(const std::string& experiment, const std::string& out_path,
                 std::ostream& out, std::ostream& err);
 
+/// `capture-all DIR` — regenerate every canonical golden capture
+/// (baseline, ppm, wavelet, nbody, combined) into `DIR/<experiment>.esst`
+/// in one pass, fanned out over `jobs` executor workers (0 = ESS_JOBS or
+/// the hardware concurrency). Captures are bit-identical to serial
+/// `capture` runs of the same experiments. Returns 0 when every capture
+/// wrote cleanly.
+int cmd_capture_all(const std::string& dir, std::size_t jobs,
+                    std::ostream& out, std::ostream& err);
+
 /// Shared by stats/diff: stream any-format input through a StreamSummary.
 /// Damaged ESST chunks are skipped (their records counted as dropped), and
 /// capture-time drops from the trailer flow into the result's lossy

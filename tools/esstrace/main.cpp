@@ -44,7 +44,12 @@ int usage(std::ostream& os, int code) {
         "                               2 = unreadable\n"
         "  capture EXPERIMENT OUT.esst  run one reduced-scale experiment\n"
         "                               (baseline|ppm|wavelet|nbody|combined)\n"
-        "                               and write its ESST capture\n";
+        "                               and write its ESST capture\n"
+        "  capture-all DIR [--jobs N]   regenerate every canonical capture\n"
+        "                               into DIR/<experiment>.esst in\n"
+        "                               parallel (default: ESS_JOBS or the\n"
+        "                               hardware concurrency); output is\n"
+        "                               bit-identical to serial captures\n";
   return code;
 }
 
@@ -70,10 +75,14 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   ess::telemetry::EsstReader::Filter filter;
   ess::telemetry::DiffTolerance tol;
+  std::size_t jobs = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string v;
-    if (arg == "--after") {
+    if (arg == "--jobs") {
+      if (!need_value(argc, argv, i, "--jobs", v)) return 2;
+      jobs = static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (arg == "--after") {
       if (!need_value(argc, argv, i, "--after", v)) return 2;
       filter.ts_min = static_cast<ess::SimTime>(std::atof(v.c_str()) * 1e6);
     } else if (arg == "--before") {
@@ -135,6 +144,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "capture" && paths.size() == 2) {
       return cmd_capture(paths[0], paths[1], std::cout, std::cerr);
+    }
+    if (cmd == "capture-all" && paths.size() == 1) {
+      return cmd_capture_all(paths[0], jobs, std::cout, std::cerr);
     }
   } catch (const std::exception& e) {
     std::cerr << "esstrace: " << e.what() << "\n";
