@@ -1,0 +1,151 @@
+// Extension E-analysis: chunk-parallel characterization throughput.
+//
+// Measures the ESST scan engine (analysis::scan_esst) over a ~1M-record
+// synthetic capture, serial vs parallel at 1/2/4/8 jobs, in records/s.
+// The parallel path must be byte-for-byte equivalent to serial — every
+// jobs level is cross-checked field-by-field against the jobs=1 result —
+// and on multi-core hosts the speedup itself is asserted. On a single-core
+// container the speedup check is skipped (there is nothing to win), but
+// the equivalence checks still run. ESS_FAST=1 shrinks the capture.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/parallel.hpp"
+#include "bench/common.hpp"
+#include "telemetry/consumers.hpp"
+#include "telemetry/esst.hpp"
+#include "trace/trace_set.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ess;
+
+/// A capture shaped like the paper's workloads: two hot regions, a cold
+/// tail, bursty sizes — enough structure that every consumer does work.
+trace::TraceSet synthetic_capture(std::size_t n) {
+  trace::TraceSet ts("throughput", 1);
+  Rng rng(42);
+  for (std::size_t i = 0; i < n; ++i) {
+    trace::Record r;
+    r.timestamp = static_cast<SimTime>(i) * 700 +
+                  static_cast<SimTime>(rng.uniform(300));
+    const auto roll = rng.uniform(100);
+    if (roll < 30) {
+      r.sector = 50'000 + static_cast<std::uint32_t>(rng.uniform(128));
+    } else if (roll < 55) {
+      r.sector = 800'000 + static_cast<std::uint32_t>(rng.uniform(128));
+    } else {
+      r.sector = static_cast<std::uint32_t>(rng.uniform(1'018'080));
+    }
+    r.size_bytes = 1024u << rng.uniform(5);
+    r.is_write = static_cast<std::uint8_t>(rng.uniform(5) != 0);
+    ts.add(r);
+  }
+  ts.set_duration(static_cast<SimTime>(n) * 700 + sec(1));
+  return ts;
+}
+
+bool same_result(const telemetry::StreamSummary::Result& a,
+                 const telemetry::StreamSummary::Result& b) {
+  if (a.records != b.records || a.reads != b.reads || a.writes != b.writes ||
+      a.read_pct != b.read_pct ||
+      a.requests_per_sec != b.requests_per_sec ||
+      a.max_request_bytes != b.max_request_bytes ||
+      a.size_pct != b.size_pct || a.band_pct != b.band_pct ||
+      a.hot_exact != b.hot_exact ||
+      a.dropped_records != b.dropped_records || a.lossy != b.lossy ||
+      a.hot.size() != b.hot.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.hot.size(); ++i) {
+    if (a.hot[i].sector != b.hot[i].sector ||
+        a.hot[i].count != b.hot[i].count ||
+        a.hot[i].error != b.hot[i].error) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double timed_scan(const std::string& path, std::size_t jobs,
+                  telemetry::StreamSummary::Result* result) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto scan = analysis::scan_esst(path, jobs);
+  const auto t1 = std::chrono::steady_clock::now();
+  *result = scan.summary.result("throughput");
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace ess;
+  const std::size_t records = bench::fast_mode() ? 200'000 : 1'000'000;
+  const std::string path = bench::out_dir() + "/analysis_throughput.esst";
+
+  std::printf("Building %zu-record capture...\n", records);
+  telemetry::write_esst_file(synthetic_capture(records), path);
+  const auto file_bytes = std::filesystem::file_size(path);
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  std::printf("Scan throughput, %zu records (%llu bytes), %zu cores:\n",
+              records, static_cast<unsigned long long>(file_bytes), hw);
+
+  const std::size_t job_levels[] = {1, 2, 4, 8};
+  telemetry::StreamSummary::Result serial;
+  double serial_secs = 0;
+  bool identical = true;
+  double best_speedup = 1.0;
+
+  const std::string csv_path = bench::out_dir() + "/analysis_throughput.csv";
+  std::FILE* csv = std::fopen(csv_path.c_str(), "w");
+  if (csv != nullptr) std::fprintf(csv, "jobs,seconds,records_per_sec\n");
+
+  for (const std::size_t jobs : job_levels) {
+    telemetry::StreamSummary::Result r;
+    // Warm the page cache on the first pass so serial is not charged for
+    // cold I/O that the later levels get for free.
+    if (jobs == 1) timed_scan(path, 1, &r);
+    const double secs = timed_scan(path, jobs, &r);
+    const double rate = static_cast<double>(records) / secs;
+    if (jobs == 1) {
+      serial = r;
+      serial_secs = secs;
+    } else {
+      identical &= same_result(r, serial);
+      best_speedup = std::max(best_speedup, serial_secs / secs);
+    }
+    std::printf("  jobs=%zu  %8.3f s  %12.0f records/s%s\n", jobs, secs,
+                rate, jobs == 1 ? "  (serial reference)" : "");
+    if (csv != nullptr) {
+      std::fprintf(csv, "%zu,%.6f,%.0f\n", jobs, secs, rate);
+    }
+  }
+  if (csv != nullptr) std::fclose(csv);
+
+  std::printf("\nChecks:\n");
+  bool ok = true;
+  ok &= bench::check("parallel results identical to serial", identical,
+                     identical ? "all job levels match" : "MISMATCH");
+  ok &= bench::check("serial pass characterized every record",
+                     serial.records == records,
+                     bench::fmt("%.0f records", double(serial.records)));
+  if (hw >= 4) {
+    // The acceptance bar: meaningful scaling where cores exist. Threshold
+    // hw/2 caps the expectation on hosts with fewer cores than jobs.
+    const double want = std::min(3.0, static_cast<double>(hw) / 2);
+    ok &= bench::check("parallel scan speeds up on multi-core host",
+                       best_speedup >= want,
+                       bench::fmt("%.2fx best", best_speedup));
+  } else {
+    std::printf("  [--] speedup check skipped (%zu core%s)\n", hw,
+                hw == 1 ? "" : "s");
+  }
+  std::filesystem::remove(path);
+  return ok ? 0 : 1;
+}

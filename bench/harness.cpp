@@ -29,7 +29,11 @@
 #include <vector>
 
 #include "analysis/characterize.hpp"
+#include "analysis/parallel.hpp"
 #include "bench/common.hpp"
+#include "telemetry/esst.hpp"
+#include "trace/trace_set.hpp"
+#include "util/rng.hpp"
 #include "exec/experiments.hpp"
 #include "exec/runner.hpp"
 #include "exec/thread_pool.hpp"
@@ -152,6 +156,62 @@ EngineBench engine_microbench() {
   return out;
 }
 
+// ---- analysis scan microbenchmark ----------------------------------------
+
+struct AnalysisScanBench {
+  std::uint64_t records = 0;
+  struct Level {
+    std::size_t jobs = 0;
+    double records_per_sec = 0;
+  };
+  std::vector<Level> levels;
+  bool identical = true;  // every jobs level matched the serial result
+};
+
+/// Characterization throughput over a synthetic ESST capture at several
+/// job counts. The numbers land in BENCH_results.json next to the engine
+/// figures so scan-path regressions show up in the same trajectory.
+AnalysisScanBench analysis_scan_microbench() {
+  AnalysisScanBench out;
+  out.records = bench::fast_mode() ? 100'000 : 500'000;
+  const std::string path = bench::out_dir() + "/harness_scan.esst";
+  {
+    trace::TraceSet ts("scan", 1);
+    Rng rng(7);
+    for (std::uint64_t i = 0; i < out.records; ++i) {
+      trace::Record r;
+      r.timestamp = static_cast<SimTime>(i) * 900 +
+                    static_cast<SimTime>(rng.uniform(400));
+      r.sector = static_cast<std::uint32_t>(rng.uniform(1'018'080));
+      r.size_bytes = 1024u << rng.uniform(5);
+      r.is_write = static_cast<std::uint8_t>(rng.uniform(4) != 0);
+      ts.add(r);
+    }
+    ts.set_duration(static_cast<SimTime>(out.records) * 900 + sec(1));
+    telemetry::write_esst_file(ts, path);
+  }
+  telemetry::StreamSummary::Result serial;
+  for (const std::size_t jobs : {1u, 2u, 4u, 8u}) {
+    const double t0 = now_seconds();
+    const auto scan = analysis::scan_esst(path, jobs);
+    const double dt = now_seconds() - t0;
+    const auto r = scan.summary.result("scan");
+    if (jobs == 1) {
+      serial = r;
+    } else {
+      out.identical &= r.records == serial.records &&
+                       r.reads == serial.reads &&
+                       r.writes == serial.writes &&
+                       r.size_pct == serial.size_pct &&
+                       r.band_pct == serial.band_pct;
+    }
+    out.levels.push_back(
+        {jobs, dt > 0 ? static_cast<double>(out.records) / dt : 0.0});
+  }
+  std::filesystem::remove(path);
+  return out;
+}
+
 // ---- subprocess bench targets --------------------------------------------
 
 /// Every standalone bench binary the harness supervises (micro_substrate
@@ -168,6 +228,7 @@ const char* const kTargets[] = {
     "ext_cluster_average", "ext_replay_tuning",
     "ext_region_decomposition",
     "ext_checkpoint_class", "ext_parallel_machine",
+    "ext_analysis_throughput",
 };
 
 struct TargetOutcome {
@@ -353,8 +414,9 @@ int main(int argc, char** argv) {
                                      : 0.0);
   }
 
-  // 2. Single-thread engine throughput.
+  // 2. Single-thread engine throughput + characterization scan throughput.
   EngineBench eng;
+  AnalysisScanBench scan;
   if (run_engine) {
     eng = engine_microbench();
     std::printf("\nEngine microbench (single thread):\n");
@@ -362,6 +424,17 @@ int main(int argc, char** argv) {
                 eng.fire_events_per_sec);
     std::printf("  schedule+cancel: %12.0f events/s\n",
                 eng.cancel_events_per_sec);
+    scan = analysis_scan_microbench();
+    std::printf("ESST scan microbench (%llu records):\n",
+                static_cast<unsigned long long>(scan.records));
+    for (const auto& lvl : scan.levels) {
+      std::printf("  jobs=%zu: %14.0f records/s\n", lvl.jobs,
+                  lvl.records_per_sec);
+    }
+    all_ok &= scan.identical;
+    if (!scan.identical) {
+      std::printf("  !! parallel scan diverged from serial\n");
+    }
   }
 
   // 3. Every standalone bench target, fanned out as subprocesses.
@@ -421,6 +494,24 @@ int main(int argc, char** argv) {
       j.value(eng.fire_events_per_sec);
       j.key("schedule_cancel_events_per_sec");
       j.value(eng.cancel_events_per_sec);
+      j.close('}');
+      j.key("analysis_scan");
+      j.open('{');
+      j.key("records");
+      j.value(scan.records);
+      j.key("identical_to_serial");
+      j.value(scan.identical);
+      j.key("levels");
+      j.open('[');
+      for (const auto& lvl : scan.levels) {
+        j.open('{');
+        j.key("jobs");
+        j.value(static_cast<std::uint64_t>(lvl.jobs));
+        j.key("records_per_sec");
+        j.value(lvl.records_per_sec);
+        j.close('}');
+      }
+      j.close(']');
       j.close('}');
     }
     j.key("experiments");

@@ -1,0 +1,296 @@
+#include "analysis/parallel.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <future>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "exec/runner.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace ess::analysis {
+namespace {
+
+std::unique_ptr<std::ifstream> open_binary(const std::string& path) {
+  auto f = std::make_unique<std::ifstream>(path, std::ios::binary);
+  if (!*f) throw std::runtime_error("cannot open " + path);
+  return f;
+}
+
+/// Contiguous chunk ranges, a few per worker so a shard of dense chunks
+/// cannot straggle the whole scan.
+std::vector<std::pair<std::size_t, std::size_t>> shard_ranges(
+    std::size_t chunks, std::size_t workers) {
+  const std::size_t shards =
+      std::max<std::size_t>(1, std::min(chunks, workers * 4));
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(shards);
+  std::size_t lo = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t hi = chunks * (s + 1) / shards;
+    if (hi > lo) out.emplace_back(lo, hi);
+    lo = hi;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t resolve_jobs(std::size_t jobs) {
+  if (jobs != 0) return jobs;
+  return std::max<std::size_t>(exec::default_workers(), 1);
+}
+
+ScanResult scan_esst(const std::string& path, std::size_t jobs,
+                     const telemetry::StreamSummary::Options& opts) {
+  const std::size_t workers = resolve_jobs(jobs);
+  ScanResult out;
+  out.summary = telemetry::StreamSummary(opts);
+  const auto file = open_binary(path);
+  telemetry::EsstReader reader(*file);
+  out.experiment = reader.meta().experiment;
+  out.salvaged = reader.salvaged() || reader.corrupt_chunks() > 0;
+  out.capture_dropped = reader.capture_dropped();
+  const std::size_t nchunks = reader.chunks().size();
+
+  if (workers <= 1 || out.salvaged || nchunks < 2) {
+    // The serial reference loop. Salvaged files stay here on purpose: each
+    // shard worker re-parses the file it opens, and re-parsing a file with
+    // no trusted index is itself a whole-file scan per shard.
+    std::vector<trace::Record> recs;
+    for (std::size_t i = 0; i < nchunks; ++i) {
+      try {
+        reader.read_chunk_into(i, recs);
+        out.summary.on_records(recs.data(), recs.size());
+      } catch (const std::runtime_error&) {
+        out.lost_records += reader.chunks()[i].records;
+      }
+    }
+  } else {
+    struct ShardOut {
+      telemetry::StreamSummary summary;
+      std::uint64_t lost = 0;
+    };
+    std::vector<std::function<ShardOut()>> shard_jobs;
+    for (const auto& [lo, hi] : shard_ranges(nchunks, workers)) {
+      shard_jobs.push_back([&, lo = lo, hi = hi] {
+        // Each shard owns its stream + reader: no shared file position, no
+        // shared decode scratch, nothing to lock.
+        ShardOut shard{telemetry::StreamSummary(opts)};
+        const auto shard_file = open_binary(path);
+        telemetry::EsstReader shard_reader(*shard_file);
+        std::vector<trace::Record> recs;
+        for (std::size_t i = lo; i < hi; ++i) {
+          try {
+            shard_reader.read_chunk_into(i, recs);
+            shard.summary.on_records(recs.data(), recs.size());
+          } catch (const std::runtime_error&) {
+            shard.lost += shard_reader.chunks()[i].records;
+          }
+        }
+        return shard;
+      });
+    }
+    // Submission order == chunk order, so each merge folds in the later
+    // time segment — the consumers' merge precondition.
+    for (auto& shard :
+         exec::run_ordered(std::move(shard_jobs), workers)) {
+      out.summary.merge(shard.summary);
+      out.lost_records += shard.lost;
+    }
+  }
+  out.summary.on_drops(out.capture_dropped + out.lost_records);
+  out.summary.on_finish(reader.duration());
+  return out;
+}
+
+telemetry::SalvageReport verify_esst(const std::string& path,
+                                     std::size_t jobs) {
+  const std::size_t workers = resolve_jobs(jobs);
+  const auto file = open_binary(path);
+  telemetry::EsstReader reader(*file);
+  const std::size_t nchunks = reader.chunks().size();
+  if (workers <= 1 || reader.salvaged() || nchunks < 2) {
+    // Salvaged files keep the serial pass: the damage the constructor's
+    // scan already discarded lives in that reader's state.
+    return reader.verify();
+  }
+
+  struct ShardReport {
+    std::size_t chunks_kept = 0;
+    std::size_t chunks_lost = 0;
+    std::uint64_t records_kept = 0;
+    std::uint64_t records_lost = 0;
+    std::uint64_t first_bad_offset = 0;
+  };
+  std::vector<std::function<ShardReport()>> shard_jobs;
+  for (const auto& [lo, hi] : shard_ranges(nchunks, workers)) {
+    shard_jobs.push_back([&, lo = lo, hi = hi] {
+      ShardReport shard;
+      const auto shard_file = open_binary(path);
+      telemetry::EsstReader shard_reader(*shard_file);
+      std::vector<trace::Record> recs;
+      for (std::size_t i = lo; i < hi; ++i) {
+        try {
+          shard_reader.read_chunk_into(i, recs);
+          ++shard.chunks_kept;
+          shard.records_kept += recs.size();
+        } catch (const std::runtime_error&) {
+          ++shard.chunks_lost;
+          shard.records_lost += shard_reader.chunks()[i].records;
+          if (shard.first_bad_offset == 0) {
+            shard.first_bad_offset = shard_reader.chunks()[i].offset;
+          }
+        }
+      }
+      return shard;
+    });
+  }
+
+  telemetry::SalvageReport rep;
+  rep.index_ok = true;
+  rep.capture_dropped = reader.capture_dropped();
+  for (const auto& shard : exec::run_ordered(std::move(shard_jobs), workers)) {
+    rep.chunks_kept += shard.chunks_kept;
+    rep.chunks_lost += shard.chunks_lost;
+    rep.records_kept += shard.records_kept;
+    rep.records_lost += shard.records_lost;
+    if (rep.first_bad_offset == 0) {
+      rep.first_bad_offset = shard.first_bad_offset;
+    }
+  }
+  // Same trailer cross-check as the serial pass: never understate loss.
+  if (reader.trailer_records() > rep.records_kept + rep.records_lost) {
+    rep.records_lost = reader.trailer_records() - rep.records_kept;
+  }
+  return rep;
+}
+
+namespace {
+
+/// One input of the k-way merge: its own stream + reader, one resident
+/// decoded chunk, and at most one chunk-decode in flight on the pool (the
+/// reader is not safe for concurrent use, and one prefetch per input is
+/// all the merge loop can consume anyway).
+struct MergeCursor {
+  std::unique_ptr<std::ifstream> file;
+  std::unique_ptr<telemetry::EsstReader> reader;
+  std::int32_t stamp_node = 0;  // v1 inputs: header node id per record
+  bool stamp = false;
+  std::size_t next_chunk = 0;  // next chunk index to schedule
+  std::vector<trace::Record> recs;
+  std::size_t pos = 0;
+  std::future<std::vector<trace::Record>> pending;
+  std::uint64_t lost_records = 0;  // damaged chunks skipped here
+
+  const trace::Record& front() const { return recs[pos]; }
+
+  void schedule(exec::ThreadPool& pool) {
+    if (next_chunk >= reader->chunks().size()) return;
+    const std::size_t idx = next_chunk++;
+    auto task = std::make_shared<
+        std::packaged_task<std::vector<trace::Record>()>>([this, idx] {
+      std::vector<trace::Record> out;
+      try {
+        reader->read_chunk_into(idx, out);
+        if (stamp) {
+          for (auto& r : out) r.node = stamp_node;
+        }
+      } catch (const std::runtime_error&) {
+        out.clear();
+        lost_records += reader->chunks()[idx].records;
+      }
+      return out;
+    });
+    pending = task->get_future();
+    pool.submit([task] { (*task)(); });
+  }
+
+  /// Make front() valid or return false at end of input. Collects the
+  /// in-flight decode and immediately schedules the next one, so with
+  /// workers the next chunk decodes while this one drains.
+  bool refill(exec::ThreadPool& pool) {
+    while (pos >= recs.size()) {
+      if (!pending.valid()) return false;
+      recs = pending.get();
+      pos = 0;
+      schedule(pool);
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+MergeResult merge_esst(const std::vector<std::string>& inputs,
+                       const std::string& out_path, std::size_t jobs) {
+  if (inputs.empty()) {
+    throw std::runtime_error("merge needs at least one input");
+  }
+  const std::size_t workers = resolve_jobs(jobs);
+  // Workers only prefetch chunk decodes; the merge order below never
+  // depends on them, so any --jobs value writes the same bytes.
+  exec::ThreadPool pool(workers <= 1 ? 0 : workers);
+
+  MergeResult result;
+  result.inputs = inputs.size();
+  std::uint64_t capture_dropped = 0;
+  std::vector<MergeCursor> cursors(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    auto& c = cursors[i];
+    c.file = open_binary(inputs[i]);
+    c.reader = std::make_unique<telemetry::EsstReader>(*c.file);
+    c.stamp = !c.reader->meta().multi_node;
+    c.stamp_node = c.reader->meta().node_id;
+    capture_dropped += c.reader->capture_dropped();
+    result.duration = std::max(result.duration, c.reader->duration());
+    c.schedule(pool);
+  }
+
+  // The merged file: format v2 (every record carries its node), header
+  // metadata from the first input, node id -1 = "the cluster" (the same
+  // convention cluster::Cluster uses for its merged TraceSet).
+  telemetry::EsstMeta meta = cursors.front().reader->meta();
+  meta.node_id = -1;
+  meta.multi_node = true;
+  std::ofstream out_file(out_path, std::ios::binary | std::ios::trunc);
+  if (!out_file) throw std::runtime_error("cannot open " + out_path);
+  telemetry::EsstWriter writer(out_file, meta);
+
+  // Min-heap of input indices keyed (timestamp, node, input position):
+  // node id breaks timestamp ties, input position makes even equal
+  // (timestamp, node) pairs — two inputs from the same node — stable.
+  const auto after = [&cursors](std::size_t a, std::size_t b) {
+    const trace::Record& ra = cursors[a].front();
+    const trace::Record& rb = cursors[b].front();
+    return std::tie(ra.timestamp, ra.node, a) >
+           std::tie(rb.timestamp, rb.node, b);
+  };
+  std::priority_queue<std::size_t, std::vector<std::size_t>, decltype(after)>
+      heap(after);
+  for (std::size_t i = 0; i < cursors.size(); ++i) {
+    if (cursors[i].refill(pool)) heap.push(i);
+  }
+  while (!heap.empty()) {
+    const std::size_t i = heap.top();
+    heap.pop();
+    writer.append(cursors[i].front());
+    ++result.records_written;
+    ++cursors[i].pos;
+    if (cursors[i].refill(pool)) heap.push(i);
+  }
+
+  for (const auto& c : cursors) result.dropped_records += c.lost_records;
+  result.dropped_records += capture_dropped;
+  writer.set_dropped_records(result.dropped_records);
+  writer.finish(result.duration);
+  if (!out_file) throw std::runtime_error("write failed: " + out_path);
+  return result;
+}
+
+}  // namespace ess::analysis

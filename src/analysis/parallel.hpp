@@ -1,0 +1,86 @@
+// Chunk-parallel ESST scan engine, and the k-way multi-node trace merge.
+//
+// ESST's chunks decode independently (each one restarts its delta chain),
+// which makes a capture embarrassingly parallel to characterize: shard the
+// chunk index into contiguous runs, decode and consume each shard on its
+// own worker with its own StreamSummary, then fold the shard summaries
+// left-to-right with the consumers' merge() methods. Submission-order
+// merging (exec::run_ordered) plus contiguous shards keep the result
+// *identical* to the serial chunk loop — counting consumers merge exactly,
+// the sliding-rate window's "later segment" precondition is exactly what
+// contiguous shards guarantee, and the top-K sketch union is exact while
+// the distinct-sector population fits its capacity (it does, for every
+// capture this study produces; when it would not, the sketch reports its
+// error bounds instead of silently diverging).
+//
+// The same worker-count convention runs through everything here and the
+// esstrace CLI: jobs == 0 means "pick for me" (ESS_JOBS or the hardware
+// thread count), jobs == 1 is the serial reference path through the same
+// code, and outputs never depend on the value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/consumers.hpp"
+#include "telemetry/esst.hpp"
+
+namespace ess::analysis {
+
+/// The CLI-facing jobs convention: 0 = ESS_JOBS or hardware concurrency,
+/// anything else verbatim. Returns at least 1.
+std::size_t resolve_jobs(std::size_t jobs);
+
+/// A characterized capture: what `esstrace stats` prints and `diff`
+/// compares, plus the loss accounting the serial path tracked alongside.
+struct ScanResult {
+  telemetry::StreamSummary summary;  // merged + finished; result() ready
+  std::string experiment;            // header name ("" when unnamed)
+  /// Records in chunks that failed CRC/decode during this scan (already
+  /// folded into the summary's drop tally together with capture drops).
+  std::uint64_t lost_records = 0;
+  /// Index was missing/bad (chunk list rebuilt by scan) or chunks were
+  /// discarded — the capture is not a complete record of the run.
+  bool salvaged = false;
+  std::uint64_t capture_dropped = 0;  // trailer's ring-overflow tally
+};
+
+/// Characterize an ESST capture with `jobs` workers. Byte-identical output
+/// to the serial chunk loop at any worker count (the goldens prove it);
+/// salvaged files take the serial path, since rebuilding the chunk list is
+/// itself a whole-file scan.
+ScanResult scan_esst(const std::string& path, std::size_t jobs = 0,
+                     const telemetry::StreamSummary::Options& opts = {});
+
+/// EsstReader::verify() fanned across `jobs` workers: every chunk still
+/// decodes exactly once and the report is identical to the serial pass.
+/// Salvaged files fall back to serial verify (their damage accounting
+/// lives in the reader's scan state).
+telemetry::SalvageReport verify_esst(const std::string& path,
+                                     std::size_t jobs = 0);
+
+/// What `esstrace merge` reports about a merge it just wrote.
+struct MergeResult {
+  std::uint64_t records_written = 0;
+  /// Aggregated loss carried into the output trailer: the sum of every
+  /// input's capture-time drops plus records in chunks that failed to
+  /// decode during the merge.
+  std::uint64_t dropped_records = 0;
+  std::size_t inputs = 0;
+  SimTime duration = 0;  // max over the inputs
+};
+
+/// K-way streaming merge of per-node ESST captures into one multi-node
+/// (format v2) file ordered by (timestamp, node id, input position) — the
+/// node id breaks timestamp ties, so the output is one deterministic byte
+/// stream regardless of input order permutations of the same files or of
+/// `jobs` (workers only prefetch chunk decodes; they never reorder).
+/// Every record carries its origin: records from a v1 input are stamped
+/// with that input's header node id, v2 inputs keep their per-record ids.
+/// Memory is one resident chunk per input, never a whole capture.
+MergeResult merge_esst(const std::vector<std::string>& inputs,
+                       const std::string& out_path, std::size_t jobs = 0);
+
+}  // namespace ess::analysis

@@ -1,6 +1,7 @@
 #include "telemetry/consumers.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace ess::telemetry {
 
@@ -35,6 +36,18 @@ void SlidingRateConsumer::on_record(const trace::Record& r) {
   while (!recent_.empty() && recent_.front() < horizon) recent_.pop_front();
 }
 
+void SlidingRateConsumer::merge(const SlidingRateConsumer& other) {
+  if (other.recent_.empty()) return;
+  // `other` saw the later segment, so its last record is the stream's last
+  // record: evict our timestamps that fell out of its window, then append.
+  // `other`'s own eviction already bounded its deque to that window, so
+  // the result is exactly the deque one pass would have left.
+  const SimTime last = other.recent_.back();
+  const SimTime horizon = last > window_ ? last - window_ : SimTime{0};
+  while (!recent_.empty() && recent_.front() < horizon) recent_.pop_front();
+  recent_.insert(recent_.end(), other.recent_.begin(), other.recent_.end());
+}
+
 double SlidingRateConsumer::rate() const {
   if (recent_.empty() || window_ == 0) return 0.0;
   return static_cast<double>(recent_.size()) / to_seconds(window_);
@@ -60,6 +73,20 @@ void WindowRateConsumer::on_finish(SimTime duration) {
   }
   const double wsec = to_seconds(window_);
   for (auto& v : series_) v /= wsec;
+}
+
+void WindowRateConsumer::merge(const WindowRateConsumer& other) {
+  if (counts_.size() < other.counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t w = 0; w < other.counts_.size(); ++w) {
+    counts_[w] += other.counts_[w];
+  }
+}
+
+void SpatialBandsConsumer::merge(const SpatialBandsConsumer& other) {
+  for (const auto& [start, n] : other.bands_) bands_[start] += n;
+  total_ += other.total_;
 }
 
 std::vector<SpatialBandsConsumer::Band> SpatialBandsConsumer::bands() const {
@@ -90,18 +117,94 @@ void TopKSectorsConsumer::on_record(const trace::Record& r) {
     entries_.push_back(Entry{sector, 1, 0, 0.0});
     return;
   }
-  // Replace the minimum counter (Space-Saving). A linear scan per eviction
-  // is fine at this study's scale: evictions only happen once the distinct
-  // population exceeds the (generous) capacity.
+  // Replace the minimum counter (Space-Saving).
   exact_ = false;
-  std::size_t victim = 0;
-  for (std::size_t i = 1; i < entries_.size(); ++i) {
-    if (entries_[i].count < entries_[victim].count) victim = i;
-  }
+  const std::size_t victim = take_min_slot();
   where_.erase(entries_[victim].sector);
   const std::uint64_t floor = entries_[victim].count;
   entries_[victim] = Entry{sector, floor + 1, floor, 0.0};
   where_.emplace(sector, victim);
+}
+
+std::size_t TopKSectorsConsumer::take_min_slot() {
+  // A linear min-scan per eviction makes dominantly-distinct streams
+  // quadratic in the capacity, so the minimum is tracked lazily instead:
+  // rescan once, stack every slot at the minimum (descending, so pops walk
+  // ascending — the same lowest-index victim the scan would pick), then
+  // serve evictions from the stack. Counts only grow, which keeps the
+  // invariant that every slot at the current minimum is on the stack;
+  // incremented slots go stale and are skipped on pop. Each rescan is paid
+  // for by the pops it feeds: amortized O(1) per eviction.
+  while (true) {
+    while (!min_candidates_.empty()) {
+      const std::size_t i = min_candidates_.back();
+      min_candidates_.pop_back();
+      if (entries_[i].count == min_count_) return i;
+    }
+    min_count_ = entries_.front().count;
+    for (const Entry& e : entries_) min_count_ = std::min(min_count_, e.count);
+    for (std::size_t i = entries_.size(); i-- > 0;) {
+      if (entries_[i].count == min_count_) min_candidates_.push_back(i);
+    }
+  }
+}
+
+void TopKSectorsConsumer::merge(const TopKSectorsConsumer& other) {
+  // An inexact sketch may have seen a sector it no longer tracks up to its
+  // minimum counter many times; a sector absent from that side absorbs
+  // that floor into both count and error (keeping count an upper bound and
+  // count - error a lower bound). Exact sketches have floor 0.
+  const auto floor_of = [](const TopKSectorsConsumer& c) -> std::uint64_t {
+    if (c.exact_ || c.entries_.empty()) return 0;
+    std::uint64_t m = std::numeric_limits<std::uint64_t>::max();
+    for (const auto& e : c.entries_) m = std::min(m, e.count);
+    return m;
+  };
+  const std::uint64_t floor_mine = floor_of(*this);
+  const std::uint64_t floor_other = floor_of(other);
+
+  std::unordered_map<std::uint64_t, Entry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  for (const auto& e : entries_) merged.emplace(e.sector, e);
+  for (const auto& e : other.entries_) {
+    auto [it, inserted] = merged.try_emplace(e.sector, e);
+    if (inserted) {
+      it->second.count += floor_mine;
+      it->second.error += floor_mine;
+    } else {
+      it->second.count += e.count;
+      it->second.error += e.error;
+    }
+  }
+  for (auto& [sector, e] : merged) {
+    if (!other.where_.contains(sector)) {
+      e.count += floor_other;
+      e.error += floor_other;
+    }
+  }
+
+  std::vector<Entry> all;
+  all.reserve(merged.size());
+  for (const auto& [sector, e] : merged) all.push_back(e);
+  std::sort(all.begin(), all.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.sector < b.sector;
+  });
+  // Truncating to capacity keeps the Space-Saving invariant: everything
+  // dropped counted at most the retained minimum, so a later arrival of an
+  // untracked sector still inherits a valid overcount bound.
+  exact_ = exact_ && other.exact_ && all.size() <= capacity_;
+  if (all.size() > capacity_) all.resize(capacity_);
+  entries_ = std::move(all);
+  where_.clear();
+  where_.reserve(entries_.size());
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    where_.emplace(entries_[i].sector, i);
+  }
+  // Slots moved; the next eviction rescans for the new minimum.
+  min_candidates_.clear();
+  min_count_ = 0;
+  duration_ = std::max(duration_, other.duration_);
 }
 
 std::vector<TopKSectorsConsumer::Entry> TopKSectorsConsumer::top(
@@ -130,7 +233,19 @@ void StreamSummary::on_record(const trace::Record& r) {
   spatial_.on_record(r);
   hot_.on_record(r);
   sliding_.on_record(r);
+  per_node_.on_record(r);
   last_ts_ = std::max(last_ts_, r.timestamp);
+}
+
+void StreamSummary::merge(const StreamSummary& other) {
+  sizes_.merge(other.sizes_);
+  rw_.merge(other.rw_);
+  spatial_.merge(other.spatial_);
+  hot_.merge(other.hot_);
+  sliding_.merge(other.sliding_);
+  per_node_.merge(other.per_node_);
+  last_ts_ = std::max(last_ts_, other.last_ts_);
+  dropped_ += other.dropped_;
 }
 
 void StreamSummary::on_finish(SimTime duration) {
@@ -169,6 +284,23 @@ StreamSummary::Result StreamSummary::result(
   }
   res.hot = hot_.top(10);
   res.hot_exact = hot_.exact();
+  if (per_node_.distinct_nodes() > 1) {
+    for (const auto& [node, c] : per_node_.nodes()) {
+      Result::NodeRow row;
+      row.node = node;
+      row.records = c.total();
+      row.reads = c.reads;
+      row.writes = c.writes;
+      row.read_pct = c.total() > 0 ? 100.0 * static_cast<double>(c.reads) /
+                                         static_cast<double>(c.total())
+                                   : 0.0;
+      row.requests_per_sec =
+          res.duration_sec > 0
+              ? static_cast<double>(c.total()) / res.duration_sec
+              : 0.0;
+      res.per_node.push_back(row);
+    }
+  }
   res.dropped_records = dropped_;
   res.lossy = dropped_ > 0;
   return res;

@@ -7,6 +7,16 @@
 // histogram, R/W mix, spatial bands and hot-sector ranking are exact; the
 // top-K sketch degrades gracefully (with bounded, reported error) only if
 // the number of distinct sectors exceeds its capacity.
+//
+// Every consumer is also *mergeable*: merge(other) folds a second
+// consumer's state in, equivalent to one pass over this consumer's records
+// followed by the other's (tested as a property over random splits). The
+// chunk-parallel scan engine (analysis/parallel.hpp) leans on this: one
+// consumer per shard of contiguous chunks, merged left-to-right. Counting
+// consumers merge exactly; the sliding-rate window assumes `other` saw the
+// later segment of a time-ordered stream (what contiguous chunk shards
+// guarantee); the top-K sketch merge stays exact until capacity is
+// exceeded, then reports its overcount bound per entry.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +38,12 @@ class SizeHistogramConsumer final : public Sink {
   void on_record(const trace::Record& r) override {
     hist_.add(static_cast<std::int64_t>(r.size_bytes));
     max_bytes_ = std::max(max_bytes_, r.size_bytes);
+  }
+
+  /// Exact: counting state sums cell-wise.
+  void merge(const SizeHistogramConsumer& other) {
+    hist_.merge(other.hist_);
+    max_bytes_ = std::max(max_bytes_, other.max_bytes_);
   }
 
   const Histogram& histogram() const { return hist_; }
@@ -54,6 +70,13 @@ class RwMixConsumer final : public Sink {
   }
   void on_finish(SimTime duration) override { duration_ = duration; }
 
+  /// Exact: counters sum; the capture duration is whichever side saw one.
+  void merge(const RwMixConsumer& other) {
+    reads_ += other.reads_;
+    writes_ += other.writes_;
+    duration_ = std::max(duration_, other.duration_);
+  }
+
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }
   std::uint64_t total() const { return reads_ + writes_; }
@@ -77,6 +100,12 @@ class SlidingRateConsumer final : public Sink {
 
   void on_record(const trace::Record& r) override;
 
+  /// Fold in the later segment of a time-partitioned stream: `other` must
+  /// have consumed records at-or-after this consumer's (the contiguous
+  /// chunk shards of a capture satisfy this). Equals a single pass over
+  /// the concatenation for nondecreasing timestamps.
+  void merge(const SlidingRateConsumer& other);
+
   /// Rate over the window ending at the latest record seen.
   double rate() const;
   SimTime window() const { return window_; }
@@ -95,6 +124,9 @@ class WindowRateConsumer final : public Sink {
 
   void on_record(const trace::Record& r) override;
   void on_finish(SimTime duration) override;
+
+  /// Exact for equal window sizes: per-window counts sum element-wise.
+  void merge(const WindowRateConsumer& other);
 
   /// Valid after on_finish; empty when duration or window is 0.
   const std::vector<double>& series() const { return series_; }
@@ -115,6 +147,9 @@ class SpatialBandsConsumer final : public Sink {
     ++bands_[r.sector / band_sectors_ * band_sectors_];
     ++total_;
   }
+
+  /// Exact: per-band counters sum. Band widths must match.
+  void merge(const SpatialBandsConsumer& other);
 
   struct Band {
     std::uint64_t band_start_sector = 0;
@@ -153,6 +188,16 @@ class TopKSectorsConsumer final : public Sink {
     double per_sec = 0;       // count / capture duration (after on_finish)
   };
 
+  /// Mergeable-summaries union of two Space-Saving sketches (Agarwal et
+  /// al., PODS 2012): counts and overcount bounds sum; a sector absent
+  /// from one inexact side additionally absorbs that side's minimum
+  /// counter (it may have occurred there up to that many times). Exact —
+  /// identical to one pass over the concatenated records — while both
+  /// sides are exact and the union of tracked sectors fits `capacity`.
+  /// Afterwards every count stays an upper bound and count - error a
+  /// lower bound of the true frequency.
+  void merge(const TopKSectorsConsumer& other);
+
   /// Top `k` by (count desc, sector asc) — analysis::hot_spots order.
   std::vector<Entry> top(std::size_t k) const;
 
@@ -162,11 +207,55 @@ class TopKSectorsConsumer final : public Sink {
   std::size_t capacity() const { return capacity_; }
 
  private:
+  /// Slot of the minimum-count entry with the lowest index (the eviction
+  /// victim). Amortized O(1): counts only grow, so every entry at the
+  /// current minimum is in the candidate stack from the last rescan.
+  std::size_t take_min_slot();
+
   std::size_t capacity_;
   std::unordered_map<std::uint64_t, std::size_t> where_;  // sector -> slot
   std::vector<Entry> entries_;
+  std::uint64_t min_count_ = 0;              // count shared by candidates
+  std::vector<std::size_t> min_candidates_;  // descending index, lazily stale
   bool exact_ = true;
   SimTime duration_ = 0;
+};
+
+/// Per-origin-node request counts (exact) — the per-disk rows behind the
+/// paper's Section 5 "average per disk" columns. Only a multi-node record
+/// stream (an `esstrace merge` output) populates more than one row; a
+/// single-node capture collapses to node 0.
+class PerNodeConsumer final : public Sink {
+ public:
+  void on_record(const trace::Record& r) override {
+    auto& c = nodes_[r.node];
+    if (r.is_write) {
+      ++c.writes;
+    } else {
+      ++c.reads;
+    }
+  }
+
+  /// Exact: counters sum node-wise.
+  void merge(const PerNodeConsumer& other) {
+    for (const auto& [node, c] : other.nodes_) {
+      auto& mine = nodes_[node];
+      mine.reads += c.reads;
+      mine.writes += c.writes;
+    }
+  }
+
+  struct Counts {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t total() const { return reads + writes; }
+  };
+  /// Ascending by node id.
+  const std::map<std::int32_t, Counts>& nodes() const { return nodes_; }
+  std::size_t distinct_nodes() const { return nodes_.size(); }
+
+ private:
+  std::map<std::int32_t, Counts> nodes_;
 };
 
 /// The standard consumer bundle: everything `esstrace stats` prints, the
@@ -186,11 +275,19 @@ class StreamSummary final : public Sink {
   void on_finish(SimTime duration) override;
   void on_drops(std::uint64_t dropped) override { dropped_ = dropped; }
 
+  /// Fold in a summary built over a *later* time-ordered segment of the
+  /// same stream (the sliding-rate precondition; every other sub-consumer
+  /// merges exactly in any order). Drop tallies sum, so report drops to
+  /// one side only — or after merging, as the parallel scan engine does.
+  /// Call on_finish afterwards, not on the shards.
+  void merge(const StreamSummary& other);
+
   const SizeHistogramConsumer& sizes() const { return sizes_; }
   const RwMixConsumer& rw() const { return rw_; }
   const SpatialBandsConsumer& spatial() const { return spatial_; }
   const TopKSectorsConsumer& hot() const { return hot_; }
   const SlidingRateConsumer& sliding_rate() const { return sliding_; }
+  const PerNodeConsumer& per_node() const { return per_node_; }
 
   std::uint64_t records() const { return rw_.total(); }
   SimTime last_timestamp() const { return last_ts_; }
@@ -214,6 +311,18 @@ class StreamSummary final : public Sink {
     std::map<std::uint64_t, double> band_pct;
     std::vector<TopKSectorsConsumer::Entry> hot;  // top 10
     bool hot_exact = true;
+    /// Per-origin-node breakdown (Section 5's per-disk rows). Populated
+    /// only when the stream carried more than one distinct node id — a
+    /// merged multi-node file — so single-node output is unchanged.
+    struct NodeRow {
+      std::int32_t node = 0;
+      std::uint64_t records = 0;
+      std::uint64_t reads = 0;
+      std::uint64_t writes = 0;
+      double read_pct = 0;
+      double requests_per_sec = 0;  // over the capture duration
+    };
+    std::vector<NodeRow> per_node;
     /// Capture-loss annotation: records that never reached the stream
     /// (ring overflow at capture time, chunks lost to corruption). A lossy
     /// result is still comparable, but its provenance is on the label.
@@ -228,6 +337,7 @@ class StreamSummary final : public Sink {
   SpatialBandsConsumer spatial_;
   TopKSectorsConsumer hot_;
   SlidingRateConsumer sliding_;
+  PerNodeConsumer per_node_;
   SimTime last_ts_ = 0;
   SimTime duration_ = 0;
   std::uint64_t dropped_ = 0;

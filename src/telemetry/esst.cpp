@@ -15,7 +15,8 @@ constexpr char kMagic[8] = {'E', 'S', 'S', 'T', '0', '0', '0', '1'};
 constexpr char kIndexMagic1[8] = {'E', 'S', 'S', 'T', 'I', 'D', 'X', '1'};
 constexpr char kIndexMagic2[8] = {'E', 'S', 'S', 'T', 'I', 'D', 'X', '2'};
 constexpr std::uint32_t kChunkMagic = 0x4b4e4843;  // "CHNK"
-constexpr std::uint16_t kVersion = 1;
+constexpr std::uint16_t kVersion = 1;       // single-node record stream
+constexpr std::uint16_t kVersionMulti = 2;  // adds a node delta per record
 constexpr std::size_t kHeaderBytes = 128;
 constexpr std::size_t kNameBytes = 72;
 constexpr std::size_t kChunkHeaderBytes = 8;   // magic + payload size
@@ -88,7 +89,7 @@ bool get_svarint(const std::uint8_t* p, std::size_t len, std::size_t& pos,
 }
 
 void encode_record(std::vector<std::uint8_t>& out, const trace::Record& r,
-                   const trace::Record& prev) {
+                   const trace::Record& prev, bool multi_node) {
   put_svarint(out, static_cast<std::int64_t>(r.timestamp) -
                        static_cast<std::int64_t>(prev.timestamp));
   put_svarint(out, static_cast<std::int64_t>(r.sector) -
@@ -97,20 +98,25 @@ void encode_record(std::vector<std::uint8_t>& out, const trace::Record& r,
                        static_cast<std::int64_t>(prev.size_bytes));
   put_uvarint(out, (static_cast<std::uint64_t>(r.outstanding) << 1) |
                        (r.is_write ? 1u : 0u));
+  if (multi_node) {
+    put_svarint(out, static_cast<std::int64_t>(r.node) -
+                         static_cast<std::int64_t>(prev.node));
+  }
 }
 
 void decode_payload_into(const std::uint8_t* p, std::size_t len,
-                         std::uint32_t count,
+                         std::uint32_t count, bool multi_node,
                          std::vector<trace::Record>& out) {
   out.clear();
   out.reserve(count);
   trace::Record prev;
   std::size_t pos = 0;
   for (std::uint32_t i = 0; i < count; ++i) {
-    std::int64_t dts = 0, dsec = 0, dsize = 0;
+    std::int64_t dts = 0, dsec = 0, dsize = 0, dnode = 0;
     std::uint64_t flags = 0;
     if (!get_svarint(p, len, pos, dts) || !get_svarint(p, len, pos, dsec) ||
-        !get_svarint(p, len, pos, dsize) || !get_uvarint(p, len, pos, flags)) {
+        !get_svarint(p, len, pos, dsize) || !get_uvarint(p, len, pos, flags) ||
+        (multi_node && !get_svarint(p, len, pos, dnode))) {
       throw std::runtime_error("esst: chunk payload underruns record count");
     }
     trace::Record r;
@@ -122,6 +128,8 @@ void decode_payload_into(const std::uint8_t* p, std::size_t len,
         static_cast<std::int64_t>(prev.size_bytes) + dsize);
     r.is_write = static_cast<std::uint8_t>(flags & 1);
     r.outstanding = static_cast<std::uint16_t>(flags >> 1);
+    r.node = static_cast<std::int32_t>(static_cast<std::int64_t>(prev.node) +
+                                       dnode);
     out.push_back(r);
     prev = r;
   }
@@ -164,7 +172,7 @@ EsstWriter::EsstWriter(std::ostream& os, EsstMeta meta)
   if (meta_.records_per_chunk == 0) meta_.records_per_chunk = 1;
   std::uint8_t h[kHeaderBytes] = {};
   std::memcpy(h, kMagic, sizeof kMagic);
-  put_u16(h + 8, kVersion);
+  put_u16(h + 8, meta_.multi_node ? kVersionMulti : kVersion);
   put_u16(h + 10, static_cast<std::uint16_t>(kHeaderBytes));
   put_u32(h + 12, static_cast<std::uint32_t>(meta_.node_id));
   put_u64(h + 16, meta_.total_sectors);
@@ -198,7 +206,7 @@ void EsstWriter::append(const trace::Record& r) {
     open_.sector_max = r.sector;
     prev_ = trace::Record{};  // chunks decode independently
   }
-  encode_record(payload_, r, prev_);
+  encode_record(payload_, r, prev_, meta_.multi_node);
   prev_ = r;
   ++open_.records;
   open_.ts_last = r.timestamp;
@@ -405,7 +413,11 @@ std::uint64_t stream_size(std::istream& is) {
 }  // namespace
 
 EsstReader::EsstReader(std::istream& is) : is_(is) {
+  // Measure the file once; every later bounds check reuses file_size_. A
+  // stream_size() per chunk read seeks to EOF and back, which discards the
+  // stream's read buffer and turns a forward pass into a seek storm.
   const std::uint64_t size = stream_size(is_);
+  file_size_ = size;
   if (size < kHeaderBytes) throw std::runtime_error("esst: file too short");
   is_.seekg(0);
   std::uint8_t h[kHeaderBytes];
@@ -413,12 +425,14 @@ EsstReader::EsstReader(std::istream& is) : is_(is) {
   if (!is_ || std::memcmp(h, kMagic, sizeof kMagic) != 0) {
     throw std::runtime_error("esst: bad magic");
   }
-  if (get_u16(h + 8) != kVersion) {
+  const std::uint16_t version = get_u16(h + 8);
+  if (version != kVersion && version != kVersionMulti) {
     throw std::runtime_error("esst: unsupported version");
   }
   if (crc32(h, kHeaderBytes - 4) != get_u32(h + kHeaderBytes - 4)) {
     throw std::runtime_error("esst: header CRC mismatch");
   }
+  meta_.multi_node = version == kVersionMulti;
   meta_.node_id = static_cast<std::int32_t>(get_u32(h + 12));
   meta_.total_sectors = get_u64(h + 16);
   meta_.sector_bytes = get_u32(h + 24);
@@ -489,30 +503,50 @@ EsstReader::EsstReader(std::istream& is) : is_(is) {
   // Salvage path: forward scan, keep every chunk whose CRC passes. A
   // trailerless file carries no capture drop count; don't trust one parsed
   // from a trailer that failed validation above.
+  salvage_scan(size);
+}
+
+/// Rebuild the chunk list by one buffered forward pass. A single seek to
+/// the first chunk, then strictly sequential reads: frame header, payload,
+/// footer, repeat — no per-chunk re-seek, so salvaging a corrupt multi-GB
+/// capture streams at disk speed instead of degrading with chunk count.
+void EsstReader::salvage_scan(std::uint64_t size) {
   salvaged_ = true;
   capture_dropped_ = 0;
   std::uint64_t off = kHeaderBytes;
-  std::vector<std::uint8_t> payload;
-  while (off < size) {
-    ChunkInfo info;
-    bool crc_ok = false;
-    if (!read_chunk_at(is_, off, size, info, payload, crc_ok)) {
-      // Not a structurally complete chunk: either the trace ends here
-      // (index/trailer bytes, EOF) or the tail was truncated mid-chunk.
-      // Everything from `off` on is unaccounted for.
-      if (scan_first_bad_ == 0 && off + kChunkHeaderBytes <= size) {
-        std::uint8_t hdr[kChunkHeaderBytes];
-        is_.clear();
-        is_.seekg(static_cast<std::streamoff>(off));
-        is_.read(reinterpret_cast<char*>(hdr), sizeof hdr);
-        if (is_ && get_u32(hdr) == kChunkMagic) {
-          // Looks like a chunk but doesn't fit: a truncated tail.
-          ++scan_lost_chunks_;
-          scan_first_bad_ = off;
-        }
-      }
+  is_.clear();
+  is_.seekg(static_cast<std::streamoff>(off));
+  while (off + kChunkHeaderBytes + kChunkFooterBytes <= size) {
+    std::uint8_t hdr[kChunkHeaderBytes];
+    is_.read(reinterpret_cast<char*>(hdr), sizeof hdr);
+    if (!is_ || get_u32(hdr) != kChunkMagic) {
+      // The trace ends here: index/trailer bytes, EOF, or torn framing.
       break;
     }
+    const std::uint32_t payload_bytes = get_u32(hdr + 4);
+    if (off + kChunkHeaderBytes + payload_bytes + kChunkFooterBytes > size) {
+      // Chunk framing is intact but the body runs past EOF: a truncated
+      // tail. Everything from `off` on is unaccounted for.
+      ++scan_lost_chunks_;
+      if (scan_first_bad_ == 0) scan_first_bad_ = off;
+      break;
+    }
+    payload_scratch_.resize(payload_bytes);
+    is_.read(reinterpret_cast<char*>(payload_scratch_.data()), payload_bytes);
+    std::uint8_t ftr[kChunkFooterBytes];
+    is_.read(reinterpret_cast<char*>(ftr), sizeof ftr);
+    if (!is_) break;
+    ChunkInfo info;
+    info.offset = off;
+    info.records = get_u32(ftr);
+    info.ts_first = get_u64(ftr + 4);
+    info.ts_last = get_u64(ftr + 12);
+    info.sector_min = get_u32(ftr + 20);
+    info.sector_max = get_u32(ftr + 24);
+    const bool crc_ok =
+        crc32(ftr, kChunkFooterBytes - 4,
+              crc32(payload_scratch_.data(), payload_scratch_.size())) ==
+        get_u32(ftr + kChunkFooterBytes - 4);
     if (crc_ok) {
       chunks_.push_back(info);
       duration_ = std::max(duration_, info.ts_last);
@@ -526,7 +560,20 @@ EsstReader::EsstReader(std::istream& is) : is_(is) {
           meta_.records_per_chunk > 0 ? meta_.records_per_chunk : info.records);
       if (scan_first_bad_ == 0) scan_first_bad_ = off;
     }
-    off += kChunkHeaderBytes + payload.size() + kChunkFooterBytes;
+    off += kChunkHeaderBytes + payload_bytes + kChunkFooterBytes;
+  }
+  // A tail too short for a whole frame can still start with chunk magic —
+  // that is a torn chunk, not trailer bytes, and it counts as lost.
+  if (scan_first_bad_ == 0 && off + kChunkHeaderBytes <= size &&
+      off + kChunkHeaderBytes + kChunkFooterBytes > size) {
+    std::uint8_t hdr[kChunkHeaderBytes];
+    is_.clear();
+    is_.seekg(static_cast<std::streamoff>(off));
+    is_.read(reinterpret_cast<char*>(hdr), sizeof hdr);
+    if (is_ && get_u32(hdr) == kChunkMagic) {
+      ++scan_lost_chunks_;
+      scan_first_bad_ = off;
+    }
   }
 }
 
@@ -540,17 +587,17 @@ SalvageReport EsstReader::verify() {
   SalvageReport rep;
   rep.index_ok = !salvaged_;
   rep.capture_dropped = capture_dropped_;
-  const std::uint64_t size = stream_size(is_);
   std::vector<trace::Record> recs;
   for (const auto& c : chunks_) {
     ChunkInfo info;
     bool crc_ok = false;
     bool decoded = false;
-    if (read_chunk_at(is_, c.offset, size, info, payload_scratch_, crc_ok) &&
+    if (read_chunk_at(is_, c.offset, file_size_, info, payload_scratch_,
+                      crc_ok) &&
         crc_ok) {
       try {
         decode_payload_into(payload_scratch_.data(), payload_scratch_.size(),
-                            info.records, recs);
+                            info.records, meta_.multi_node, recs);
         decoded = true;
       } catch (const std::runtime_error&) {
         // CRC passed but the payload does not decode — counts as lost.
@@ -590,13 +637,13 @@ void EsstReader::read_chunk_into(std::size_t idx,
   const ChunkInfo& c = chunks_.at(idx);
   ChunkInfo read_info;
   bool crc_ok = false;
-  if (!read_chunk_at(is_, c.offset, stream_size(is_), read_info,
-                     payload_scratch_, crc_ok)) {
+  if (!read_chunk_at(is_, c.offset, file_size_, read_info, payload_scratch_,
+                     crc_ok)) {
     throw std::runtime_error("esst: chunk unreadable");
   }
   if (!crc_ok) throw std::runtime_error("esst: chunk CRC mismatch");
   decode_payload_into(payload_scratch_.data(), payload_scratch_.size(),
-                      read_info.records, out);
+                      read_info.records, meta_.multi_node, out);
 }
 
 std::vector<trace::Record> EsstReader::read_chunk(std::size_t idx) {

@@ -14,6 +14,10 @@
 //     (chunks decode independently, so a reader can skip any of them):
 //       zigzag(ts delta), zigzag(sector delta), zigzag(size delta),
 //       uvarint(outstanding << 1 | is_write)
+//     Version 2 ("multi-node", written by `esstrace merge`) appends
+//       zigzag(node delta)
+//     per record, so a merged per-node stream keeps each record's origin.
+//     Single-node captures stay version 1 — byte-identical to before.
 //     Framing: u32 chunk magic, u32 payload bytes, payload, then a footer
 //     (record count, first/last timestamp, min/max sector, payload CRC32).
 //   [index]
@@ -61,6 +65,10 @@ struct EsstMeta {
   std::uint32_t records_per_chunk = 65'536;
   std::uint64_t seed = 0;
   std::uint64_t ram_bytes = 0;
+  /// Multi-node record stream (format version 2): every record carries its
+  /// originating node id. Set by `esstrace merge`; single-node captures
+  /// leave it false and their bytes are unchanged from version 1.
+  bool multi_node = false;
 };
 
 /// Per-chunk index entry (also the chunk footer's summary): enough to skip
@@ -207,6 +215,10 @@ class EsstReader {
 
   SimTime duration() const { return duration_; }
   std::uint64_t total_records() const;
+  /// The trailer's record-count claim (0 when the index did not survive).
+  /// total_records() sums the per-chunk index counts instead; a shortfall
+  /// between the two means the index itself lost entries.
+  std::uint64_t trailer_records() const { return expected_records_; }
 
   /// Decode chunk `idx`. Throws on CRC mismatch (read_all()/read_filtered()
   /// catch and skip instead).
@@ -238,10 +250,14 @@ class EsstReader {
                                 std::size_t* chunks_skipped = nullptr);
 
  private:
+  void salvage_scan(std::uint64_t size);
+
   std::istream& is_;
   EsstMeta meta_;
   std::vector<ChunkInfo> chunks_;
   std::vector<std::uint8_t> payload_scratch_;  // reused across chunk reads
+  std::uint64_t file_size_ = 0;  // measured once; seeking to EOF per chunk
+                                 // defeated stream buffering (see ctor)
   SimTime duration_ = 0;
   bool salvaged_ = false;
   std::size_t corrupt_chunks_ = 0;

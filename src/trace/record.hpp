@@ -21,6 +21,11 @@ struct Record {
   std::uint32_t size_bytes = 0; // request size (sector_count * 512)
   std::uint8_t is_write = 0;    // 0 = read, 1 = write
   std::uint16_t outstanding = 0;// remaining queued requests at capture time
+  /// Originating node for multi-node (merged) record streams; 0 on a
+  /// single-node capture, where the file-level node id (TraceSet /
+  /// EsstMeta) identifies the disk. Carried per record only by the
+  /// multi-node ESST format; CSV and the legacy flat binary drop it.
+  std::int32_t node = 0;
 
   friend bool operator==(const Record&, const Record&) = default;
 };

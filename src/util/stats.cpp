@@ -30,6 +30,11 @@ void Histogram::add(std::int64_t key, std::uint64_t weight) {
   total_ += weight;
 }
 
+void Histogram::merge(const Histogram& other) {
+  for (const auto& [key, count] : other.cells_) cells_[key] += count;
+  total_ += other.total_;
+}
+
 std::uint64_t Histogram::count(std::int64_t key) const {
   const auto it = cells_.find(key);
   return it == cells_.end() ? 0 : it->second;

@@ -36,6 +36,10 @@ class Histogram {
  public:
   void add(std::int64_t key, std::uint64_t weight = 1);
 
+  /// Cell-wise sum with another histogram: equivalent to having added the
+  /// other histogram's samples to this one.
+  void merge(const Histogram& other);
+
   std::uint64_t count(std::int64_t key) const;
   std::uint64_t total() const { return total_; }
   double fraction(std::int64_t key) const;

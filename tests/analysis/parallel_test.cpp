@@ -1,0 +1,301 @@
+// The chunk-parallel scan engine and the k-way multi-node merge: results
+// identical to serial at any worker count (including over damaged files),
+// merges deterministic and equal to the sum of their inputs.
+#include "analysis/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/esst.hpp"
+#include "util/rng.hpp"
+
+namespace ess::analysis {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("ess_parallel_" + std::to_string(::getpid()) + "_" + name))
+      .string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+trace::TraceSet sample_trace(const std::string& name, int node,
+                             std::size_t n, std::uint64_t seed) {
+  trace::TraceSet ts(name, node);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    trace::Record r;
+    r.timestamp = static_cast<SimTime>(i) * 2'000 +
+                  static_cast<SimTime>(rng.uniform(500));
+    r.sector = static_cast<std::uint32_t>(rng.uniform(1'018'080));
+    r.size_bytes = 1024u << rng.uniform(4);
+    r.is_write = static_cast<std::uint8_t>(rng.uniform(5) != 0);
+    r.outstanding = static_cast<std::uint16_t>(rng.uniform(4));
+    ts.add(r);
+  }
+  ts.set_duration(static_cast<SimTime>(n) * 2'000 + sec(1));
+  return ts;
+}
+
+/// Small chunks force a real multi-chunk file (here: dozens of chunks)
+/// so sharding has something to shard.
+void write_chunked(const trace::TraceSet& ts, const std::string& path,
+                   std::uint32_t records_per_chunk = 512) {
+  telemetry::EsstMeta meta;
+  meta.records_per_chunk = records_per_chunk;
+  telemetry::write_esst_file(ts, path, meta);
+}
+
+void expect_same_result(const telemetry::StreamSummary::Result& a,
+                        const telemetry::StreamSummary::Result& b) {
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_DOUBLE_EQ(a.duration_sec, b.duration_sec);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_DOUBLE_EQ(a.read_pct, b.read_pct);
+  EXPECT_DOUBLE_EQ(a.requests_per_sec, b.requests_per_sec);
+  EXPECT_EQ(a.max_request_bytes, b.max_request_bytes);
+  EXPECT_EQ(a.size_pct, b.size_pct);
+  EXPECT_EQ(a.band_pct, b.band_pct);
+  ASSERT_EQ(a.hot.size(), b.hot.size());
+  for (std::size_t i = 0; i < a.hot.size(); ++i) {
+    EXPECT_EQ(a.hot[i].sector, b.hot[i].sector);
+    EXPECT_EQ(a.hot[i].count, b.hot[i].count);
+    EXPECT_EQ(a.hot[i].error, b.hot[i].error);
+    EXPECT_DOUBLE_EQ(a.hot[i].per_sec, b.hot[i].per_sec);
+  }
+  EXPECT_EQ(a.hot_exact, b.hot_exact);
+  EXPECT_EQ(a.dropped_records, b.dropped_records);
+  EXPECT_EQ(a.lossy, b.lossy);
+  ASSERT_EQ(a.per_node.size(), b.per_node.size());
+  for (std::size_t i = 0; i < a.per_node.size(); ++i) {
+    EXPECT_EQ(a.per_node[i].node, b.per_node[i].node);
+    EXPECT_EQ(a.per_node[i].records, b.per_node[i].records);
+  }
+}
+
+TEST(ParallelScan, IdenticalToSerialAtAnyJobCount) {
+  const std::string path = tmp_path("scan.esst");
+  write_chunked(sample_trace("scan", 0, 20'000, 3), path);
+
+  const auto serial = scan_esst(path, 1);
+  EXPECT_FALSE(serial.salvaged);
+  EXPECT_EQ(serial.lost_records, 0u);
+  EXPECT_EQ(serial.summary.records(), 20'000u);
+  for (const std::size_t jobs : {2u, 4u, 8u}) {
+    const auto par = scan_esst(path, jobs);
+    EXPECT_EQ(par.experiment, serial.experiment);
+    EXPECT_EQ(par.lost_records, serial.lost_records);
+    expect_same_result(par.summary.result("x"), serial.summary.result("x"));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ParallelScan, DamagedChunkCostsSameRecordsAtAnyJobCount) {
+  const std::string path = tmp_path("scan_damaged.esst");
+  write_chunked(sample_trace("dmg", 0, 8'192, 4), path);
+  // Flip a byte inside some mid-file chunk payload: its CRC fails, its
+  // records count as dropped, everything else survives.
+  {
+    auto bytes = slurp(path);
+    bytes[bytes.size() / 2] ^= 0x5a;
+    std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+  }
+  const auto serial = scan_esst(path, 1);
+  EXPECT_GT(serial.lost_records, 0u);
+  EXPECT_TRUE(serial.summary.result("x").lossy);
+  for (const std::size_t jobs : {2u, 8u}) {
+    const auto par = scan_esst(path, jobs);
+    EXPECT_EQ(par.lost_records, serial.lost_records);
+    expect_same_result(par.summary.result("x"), serial.summary.result("x"));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ParallelVerify, MatchesSerialReportCleanAndDamaged) {
+  const std::string path = tmp_path("verify.esst");
+  write_chunked(sample_trace("ver", 0, 8'192, 5), path);
+
+  const auto check_parity = [&] {
+    std::ifstream f(path, std::ios::binary);
+    telemetry::EsstReader reader(f);
+    const auto want = reader.verify();
+    for (const std::size_t jobs : {1u, 4u}) {
+      const auto got = verify_esst(path, jobs);
+      EXPECT_EQ(got.index_ok, want.index_ok);
+      EXPECT_EQ(got.chunks_kept, want.chunks_kept);
+      EXPECT_EQ(got.chunks_lost, want.chunks_lost);
+      EXPECT_EQ(got.records_kept, want.records_kept);
+      EXPECT_EQ(got.records_lost, want.records_lost);
+      EXPECT_EQ(got.records_lost_exact, want.records_lost_exact);
+      EXPECT_EQ(got.first_bad_offset, want.first_bad_offset);
+      EXPECT_EQ(got.capture_dropped, want.capture_dropped);
+      EXPECT_EQ(got.clean(), want.clean());
+    }
+  };
+  check_parity();  // clean
+
+  auto bytes = slurp(path);
+  bytes[bytes.size() / 2] ^= 0x5a;  // damaged chunk, index intact
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+  check_parity();
+
+  // Truncate the index off the tail: salvaged files take the serial path
+  // and still agree.
+  bytes.resize(bytes.size() - 64);
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+  check_parity();
+  std::filesystem::remove(path);
+}
+
+class MergeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int n = 1; n <= 3; ++n) {
+      const auto ts =
+          sample_trace("cluster", n, 4'000, 100 + static_cast<std::uint64_t>(n));
+      const std::string path =
+          tmp_path("node" + std::to_string(n) + ".esst");
+      telemetry::EsstMeta meta;
+      meta.node_id = n;
+      meta.records_per_chunk = 512;
+      telemetry::write_esst_file(ts, path, meta);
+      inputs_.push_back(path);
+    }
+  }
+  void TearDown() override {
+    for (const auto& p : inputs_) std::filesystem::remove(p);
+    std::filesystem::remove(out_);
+  }
+
+  std::vector<std::string> inputs_;
+  std::string out_ = tmp_path("merged.esst");
+};
+
+TEST_F(MergeTest, RoundTripSumsPerNodeStats) {
+  const auto res = merge_esst(inputs_, out_);
+  EXPECT_EQ(res.records_written, 12'000u);
+  EXPECT_EQ(res.inputs, 3u);
+
+  // The merged file is format v2: node id -1, per-record node ids intact.
+  std::ifstream f(out_, std::ios::binary);
+  telemetry::EsstReader reader(f);
+  EXPECT_TRUE(reader.meta().multi_node);
+  EXPECT_EQ(reader.meta().node_id, -1);
+  EXPECT_EQ(reader.meta().experiment, "cluster");
+
+  // Merged record stream is sorted by (timestamp, node) and the per-node
+  // splits reproduce each input exactly.
+  const auto merged = reader.read_all();
+  ASSERT_EQ(merged.size(), 12'000u);
+  for (std::size_t i = 1; i < merged.records().size(); ++i) {
+    const auto& prev = merged.records()[i - 1];
+    const auto& cur = merged.records()[i];
+    EXPECT_TRUE(prev.timestamp < cur.timestamp ||
+                (prev.timestamp == cur.timestamp && prev.node <= cur.node));
+  }
+  const auto merged_scan = scan_esst(out_);
+  const auto rows = merged_scan.summary.result("m").per_node;
+  ASSERT_EQ(rows.size(), 3u);
+  for (int n = 1; n <= 3; ++n) {
+    const auto node_scan = scan_esst(inputs_[static_cast<std::size_t>(n - 1)]);
+    std::ifstream nf(inputs_[static_cast<std::size_t>(n - 1)],
+                     std::ios::binary);
+    telemetry::EsstReader nreader(nf);
+    const auto node_ts = nreader.read_all();
+    const std::vector<trace::Record>& want = node_ts.records();
+    std::vector<trace::Record> got;
+    for (const auto& r : merged.records()) {
+      if (r.node == n) {
+        auto copy = r;
+        copy.node = 0;  // v1 inputs carry node 0 per record
+        got.push_back(copy);
+      }
+    }
+    ASSERT_EQ(got.size(), want.size()) << "node " << n;
+    EXPECT_EQ(got, want) << "node " << n;
+    // Aggregate check through the scan engine: merged per-node counts
+    // equal each input's own characterization.
+    EXPECT_EQ(rows[static_cast<std::size_t>(n - 1)].node, n);
+    EXPECT_EQ(rows[static_cast<std::size_t>(n - 1)].records,
+              node_scan.summary.records());
+    EXPECT_EQ(rows[static_cast<std::size_t>(n - 1)].reads,
+              node_scan.summary.rw().reads());
+  }
+}
+
+TEST_F(MergeTest, DeterministicAcrossRunsAndJobs) {
+  ASSERT_NO_THROW(merge_esst(inputs_, out_, 1));
+  const auto first = slurp(out_);
+  ASSERT_FALSE(first.empty());
+  for (const std::size_t jobs : {1u, 2u, 8u}) {
+    merge_esst(inputs_, out_, jobs);
+    EXPECT_EQ(slurp(out_), first) << "jobs=" << jobs;
+  }
+}
+
+TEST_F(MergeTest, AggregatesDropCountsIntoTrailer) {
+  // Rewrite input 1 with capture-time drops in its trailer.
+  {
+    std::ifstream f(inputs_[0], std::ios::binary);
+    telemetry::EsstReader reader(f);
+    const auto ts = reader.read_all();
+    f.close();
+    std::ofstream of(inputs_[0], std::ios::binary | std::ios::trunc);
+    telemetry::EsstMeta meta = reader.meta();
+    telemetry::EsstWriter writer(of, meta);
+    for (const auto& r : ts.records()) writer.append(r);
+    writer.set_dropped_records(123);
+    writer.finish(ts.duration());
+  }
+  const auto res = merge_esst(inputs_, out_);
+  EXPECT_EQ(res.dropped_records, 123u);
+  std::ifstream f(out_, std::ios::binary);
+  telemetry::EsstReader reader(f);
+  EXPECT_EQ(reader.capture_dropped(), 123u);
+}
+
+TEST(EsstV2, MultiNodeRoundTripPreservesPerRecordNodes) {
+  const std::string path = tmp_path("v2.esst");
+  trace::TraceSet ts = sample_trace("v2", -1, 2'000, 17);
+  {
+    // Stamp interleaved node ids the way a merge output carries them.
+    trace::TraceSet stamped("v2", -1);
+    int i = 0;
+    for (auto r : ts.records()) {
+      r.node = i++ % 4 + 1;
+      stamped.add(r);
+    }
+    stamped.set_duration(ts.duration());
+    ts = std::move(stamped);
+  }
+  telemetry::EsstMeta meta;
+  meta.multi_node = true;
+  meta.records_per_chunk = 256;
+  telemetry::write_esst_file(ts, path, meta);
+
+  std::ifstream f(path, std::ios::binary);
+  telemetry::EsstReader reader(f);
+  EXPECT_TRUE(reader.meta().multi_node);
+  const auto back = reader.read_all();
+  EXPECT_EQ(back.records(), ts.records());  // node ids included
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace ess::analysis

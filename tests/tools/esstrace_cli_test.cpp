@@ -256,6 +256,62 @@ TEST_F(EsstraceCli, VerifyRejectsNonEsstAndMissingFilesWithTwo) {
   EXPECT_EQ(cmd_verify(tmp_path("gone.esst"), out, err), 2);
 }
 
+// ---- merge: multi-node captures into one v2 file ----
+
+TEST_F(EsstraceCli, MergeProducesAMultiNodeFileStatsBreakDownPerNode) {
+  // Two "nodes": the same workload shape with shifted timestamps so
+  // records interleave, distinct header node ids.
+  const auto n1 = tmp_path("cli_n1.esst");
+  const auto n2 = tmp_path("cli_n2.esst");
+  const auto base = sample();
+  for (int n = 1; n <= 2; ++n) {
+    trace::TraceSet ts("cli-cluster", n);
+    for (const auto& r : base.records()) {
+      auto shifted = r;
+      shifted.timestamp += static_cast<SimTime>(n) * 1000;
+      ts.add(shifted);
+    }
+    ts.set_duration(base.duration() + 2000);
+    telemetry::EsstMeta meta;
+    meta.node_id = n;
+    telemetry::write_esst_file(ts, n == 1 ? n1 : n2, meta);
+  }
+  const auto merged = tmp_path("cli_merged.esst");
+  std::ostringstream out, err;
+  ASSERT_EQ(cmd_merge({n1, n2}, merged, /*jobs=*/2, out, err), 0)
+      << err.str();
+  EXPECT_NE(out.str().find("merged 2 captures"), std::string::npos);
+  EXPECT_NE(out.str().find("240 records"), std::string::npos);
+
+  // The merged characterization carries per-node rows; single-node stats
+  // never print that section.
+  std::ostringstream stats, single;
+  ASSERT_EQ(cmd_stats(merged, stats, err), 0) << err.str();
+  EXPECT_NE(stats.str().find("per node (2 nodes):"), std::string::npos);
+  EXPECT_NE(stats.str().find("node   1"), std::string::npos);
+  EXPECT_NE(stats.str().find("node   2"), std::string::npos);
+  ASSERT_EQ(cmd_stats(esst_, single, err), 0) << err.str();
+  EXPECT_EQ(single.str().find("per node"), std::string::npos);
+
+  // And the merged file is a first-class capture: verifiable, diffable
+  // against itself, stats identical at any job count.
+  std::ostringstream vout;
+  EXPECT_EQ(cmd_verify(merged, vout, err), 0) << err.str();
+  std::ostringstream j1, j8;
+  ASSERT_EQ(cmd_stats(merged, j1, err, 1), 0);
+  ASSERT_EQ(cmd_stats(merged, j8, err, 8), 0);
+  EXPECT_EQ(j1.str(), j8.str());
+  for (const auto& p : {n1, n2, merged}) std::remove(p.c_str());
+}
+
+TEST_F(EsstraceCli, MergeRejectsNonEsstInput) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cmd_merge({csv_, esst_}, tmp_path("cli_bad_merge.esst"),
+                      /*jobs=*/1, out, err),
+            2);
+  EXPECT_NE(err.str().find("not an ESST file"), std::string::npos);
+}
+
 // ---- capture: golden-trace generation for the regression gate ----
 
 TEST_F(EsstraceCli, CaptureRejectsUnknownExperiment) {

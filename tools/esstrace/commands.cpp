@@ -8,6 +8,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "analysis/parallel.hpp"
+#include "cluster/cluster.hpp"
 #include "core/presets.hpp"
 #include "exec/experiments.hpp"
 #include "exec/thread_pool.hpp"
@@ -68,6 +70,16 @@ void render_result(const telemetry::StreamSummary::Result& r,
     put(out, "  sector %8llu  x%-8llu %.4f/s\n",
         static_cast<unsigned long long>(h.sector),
         static_cast<unsigned long long>(h.count), h.per_sec);
+  }
+  // Only a multi-node (merged) stream fills these rows, so single-node
+  // stats output — including the golden captures — is unchanged.
+  if (!r.per_node.empty()) {
+    put(out, "per node (%zu nodes):\n", r.per_node.size());
+    for (const auto& n : r.per_node) {
+      put(out, "  node %3d  %9llu records  %5.1f%% reads  %.3f req/s\n",
+          n.node, static_cast<unsigned long long>(n.records), n.read_pct,
+          n.requests_per_sec);
+    }
   }
 }
 
@@ -248,50 +260,30 @@ int cmd_filter(const std::string& in, const std::string& out_path,
   return 0;
 }
 
-telemetry::StreamSummary::Result summarize_file(const std::string& path) {
-  telemetry::StreamSummary summary;
-  std::string name;
-  bool salvage_lossy = false;
+telemetry::StreamSummary::Result summarize_file(const std::string& path,
+                                                std::size_t jobs) {
   if (sniff_format(path) == TraceFormat::kEsst) {
-    // True streaming: one chunk resident at a time. A chunk that fails to
-    // decode costs its own records, never the whole characterization.
-    std::ifstream file(path, std::ios::binary);
-    telemetry::EsstReader reader(file);
-    name = reader.meta().experiment;
-    std::uint64_t lost_records = 0;
-    // One decode buffer reused across every chunk (and the reader reuses
-    // its payload scratch): the whole pass allocates O(largest chunk), not
-    // O(chunk count) — measurable on multi-thousand-chunk captures.
-    std::vector<trace::Record> recs;
-    for (std::size_t i = 0; i < reader.chunks().size(); ++i) {
-      try {
-        reader.read_chunk_into(i, recs);
-        summary.on_records(recs.data(), recs.size());
-      } catch (const std::runtime_error&) {
-        lost_records += reader.chunks()[i].records;
-      }
-    }
-    // Everything that never reached the stream: upstream ring overflow
-    // (trailer) plus chunks lost here or discarded by the salvage scan.
-    summary.on_drops(reader.capture_dropped() + lost_records);
-    // A salvaged file lost its index and possibly a tail of unknown length:
-    // lossy even when no specific record can be pointed at.
-    salvage_lossy = reader.salvaged() || reader.corrupt_chunks() > 0;
-    summary.on_finish(reader.duration());
-  } else {
-    const auto ts = load_any(path);
-    name = ts.experiment();
-    for (const auto& r : ts.records()) summary.on_record(r);
-    summary.on_finish(ts.duration());
+    // The chunk-parallel scan engine: still true streaming (one resident
+    // chunk per worker), still one labelled result for a damaged file —
+    // chunks that fail to decode cost their own records, salvaged files
+    // come back marked lossy — and byte-identical output at any --jobs.
+    auto scan = analysis::scan_esst(path, jobs);
+    auto res = scan.summary.result(
+        scan.experiment.empty() ? path : scan.experiment);
+    res.lossy = res.lossy || scan.salvaged;
+    return res;
   }
-  auto res = summary.result(name.empty() ? path : name);
-  res.lossy = res.lossy || salvage_lossy;
-  return res;
+  telemetry::StreamSummary summary;
+  const auto ts = load_any(path);
+  for (const auto& r : ts.records()) summary.on_record(r);
+  summary.on_finish(ts.duration());
+  return summary.result(ts.experiment().empty() ? path : ts.experiment());
 }
 
-int cmd_stats(const std::string& path, std::ostream& out, std::ostream& err) {
+int cmd_stats(const std::string& path, std::ostream& out, std::ostream& err,
+              std::size_t jobs) {
   try {
-    render_result(summarize_file(path), out);
+    render_result(summarize_file(path, jobs), out);
   } catch (const std::runtime_error& e) {
     err << "esstrace stats: " << e.what() << "\n";
     return 2;
@@ -301,10 +293,10 @@ int cmd_stats(const std::string& path, std::ostream& out, std::ostream& err) {
 
 int cmd_diff(const std::string& a, const std::string& b,
              const telemetry::DiffTolerance& tol, std::ostream& out,
-             std::ostream& err) {
+             std::ostream& err, std::size_t jobs) {
   try {
-    const auto ra = summarize_file(a);
-    const auto rb = summarize_file(b);
+    const auto ra = summarize_file(a, jobs);
+    const auto rb = summarize_file(b, jobs);
     const auto d = telemetry::diff_summaries(ra, rb, tol);
     out << render_diff(d);
     return d.ok ? 0 : 1;
@@ -314,15 +306,14 @@ int cmd_diff(const std::string& a, const std::string& b,
   }
 }
 
-int cmd_verify(const std::string& path, std::ostream& out, std::ostream& err) {
+int cmd_verify(const std::string& path, std::ostream& out, std::ostream& err,
+               std::size_t jobs) {
   try {
     if (sniff_format(path) != TraceFormat::kEsst) {
       err << "esstrace verify: " << path << " is not an ESST file\n";
       return 2;
     }
-    std::ifstream f(path, std::ios::binary);
-    telemetry::EsstReader reader(f);
-    const auto rep = reader.verify();
+    const auto rep = analysis::verify_esst(path, jobs);
     put(out, "file            %s\n", path.c_str());
     put(out, "index           %s\n",
         rep.index_ok ? "ok" : "MISSING/BAD — chunk list rebuilt by scan");
@@ -348,6 +339,33 @@ int cmd_verify(const std::string& path, std::ostream& out, std::ostream& err) {
     return 1;
   } catch (const std::exception& e) {
     err << "esstrace verify: " << path << ": " << e.what() << "\n";
+    return 2;
+  }
+}
+
+int cmd_merge(const std::vector<std::string>& inputs,
+              const std::string& out_path, std::size_t jobs,
+              std::ostream& out, std::ostream& err) {
+  try {
+    for (const auto& in : inputs) {
+      if (sniff_format(in) != TraceFormat::kEsst) {
+        err << "esstrace merge: " << in << " is not an ESST file\n";
+        return 2;
+      }
+    }
+    const auto res = analysis::merge_esst(inputs, out_path, jobs);
+    put(out, "merged %zu captures -> %s: %llu records, %.1f s (%llu bytes)\n",
+        res.inputs, out_path.c_str(),
+        static_cast<unsigned long long>(res.records_written),
+        to_seconds(res.duration),
+        static_cast<unsigned long long>(file_size(out_path)));
+    if (res.dropped_records > 0) {
+      put(out, "carried %llu dropped record(s) into the output trailer\n",
+          static_cast<unsigned long long>(res.dropped_records));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << "esstrace merge: " << e.what() << "\n";
     return 2;
   }
 }
@@ -402,6 +420,39 @@ int cmd_capture(const std::string& experiment, const std::string& out_path,
   }
 }
 
+namespace {
+
+/// The multi-node golden: a 2-node reduced-scale cluster baseline, one
+/// ESST per node (node ids 1..n) plus their k-way merge — the fixture the
+/// CI trace-diff gate uses to pin down `esstrace merge` and the v2 format.
+/// Two nodes keep regeneration cheap while still exercising every
+/// multi-node path (distinct node ids, timestamp-tie interleaving).
+int capture_cluster(const std::string& dir, std::size_t jobs,
+                    std::ostream& out, std::ostream& err) {
+  cluster::ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.study = core::fast_study_config();
+  cluster::Cluster cl(cfg);
+  const auto run = cl.run_baseline();
+
+  std::vector<std::string> node_paths;
+  for (std::size_t n = 0; n < run.node_traces.size(); ++n) {
+    telemetry::EsstMeta meta;
+    meta.node_id = static_cast<std::int32_t>(n + 1);
+    meta.seed = cfg.study.seed;
+    const std::string path =
+        dir + "/cluster_node" + std::to_string(n + 1) + ".esst";
+    telemetry::write_esst_file(run.node_traces[n], path, meta);
+    put(out, "cluster node %zu: %zu records -> %s (%llu bytes)\n", n + 1,
+        run.node_traces[n].size(), path.c_str(),
+        static_cast<unsigned long long>(file_size(path)));
+    node_paths.push_back(path);
+  }
+  return cmd_merge(node_paths, dir + "/cluster.esst", jobs, out, err);
+}
+
+}  // namespace
+
 int cmd_capture_all(const std::string& dir, std::size_t jobs,
                     std::ostream& out, std::ostream& err) {
   try {
@@ -411,8 +462,11 @@ int cmd_capture_all(const std::string& dir, std::size_t jobs,
       specs.push_back(
           capture_spec(e, dir + "/" + exec::to_string(e) + ".esst"));
     }
-    return run_captures(specs, jobs == 0 ? exec::default_workers() : jobs,
-                        out, err);
+    const std::size_t workers =
+        jobs == 0 ? exec::default_workers() : jobs;
+    const int rc = run_captures(specs, workers, out, err);
+    const int cluster_rc = capture_cluster(dir, jobs, out, err);
+    return rc != 0 ? rc : cluster_rc;
   } catch (const std::exception& ex) {
     err << "esstrace capture-all: " << ex.what() << "\n";
     return 2;

@@ -5,8 +5,10 @@
 // directly with temp files and an ostringstream.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "telemetry/diff.hpp"
 #include "telemetry/esst.hpp"
@@ -46,26 +48,44 @@ int cmd_filter(const std::string& in, const std::string& out_path,
                const telemetry::EsstReader::Filter& f, std::ostream& out,
                std::ostream& err);
 
-/// `stats FILE` — run the streaming consumers over the trace and print the
-/// characterization (ESST input is decoded chunk by chunk, never fully
-/// resident).
-int cmd_stats(const std::string& path, std::ostream& out, std::ostream& err);
+/// `stats FILE [--jobs N]` — run the streaming consumers over the trace
+/// and print the characterization. ESST input goes through the
+/// chunk-parallel scan engine (analysis/parallel.hpp): decoded chunk by
+/// chunk across `jobs` workers, never fully resident, output identical at
+/// any worker count. jobs: 0 = ESS_JOBS or the hardware concurrency.
+int cmd_stats(const std::string& path, std::ostream& out, std::ostream& err,
+              std::size_t jobs = 0);
 
-/// `diff A B` — compare two traces' characterizations under tolerances.
-/// Returns 0 when within tolerance, 1 when not. Lossy inputs (salvaged
-/// files, capture-time drops) are annotated in the output.
+/// `diff A B [--jobs N]` — compare two traces' characterizations under
+/// tolerances (both sides scanned with `jobs` workers). Returns 0 when
+/// within tolerance, 1 when not. Lossy inputs (salvaged files,
+/// capture-time drops) are annotated in the output.
 int cmd_diff(const std::string& a, const std::string& b,
              const telemetry::DiffTolerance& tol, std::ostream& out,
-             std::ostream& err);
+             std::ostream& err, std::size_t jobs = 0);
 
-/// `verify FILE` — integrity pass over an ESST capture. Exit codes are the
-/// contract CI scripts key on:
+/// `verify FILE [--jobs N]` — integrity pass over an ESST capture, chunk
+/// decodes fanned across `jobs` workers (identical report at any count;
+/// salvaged files verify serially). Exit codes are the contract CI
+/// scripts key on:
 ///   0  clean: indexed, every chunk decodes, no capture-time drops
 ///   1  salvaged/lossy: readable, but records were lost at capture time or
 ///      chunks were lost to damage — the SalvageReport says which and how
 ///      many
 ///   2  unreadable: not an ESST file, or the header itself is unusable
-int cmd_verify(const std::string& path, std::ostream& out, std::ostream& err);
+int cmd_verify(const std::string& path, std::ostream& out, std::ostream& err,
+               std::size_t jobs = 0);
+
+/// `merge IN... OUT [--jobs N]` — k-way streaming merge of per-node ESST
+/// captures into one multi-node (format v2) file, ordered by timestamp
+/// with node id as the tie-break. Each merged record carries its origin
+/// node; the output trailer aggregates every input's drop count. The
+/// output bytes are a pure function of the input files — independent of
+/// --jobs (workers only prefetch chunk decodes). Returns 0 on success, 2
+/// on unreadable inputs.
+int cmd_merge(const std::vector<std::string>& inputs,
+              const std::string& out_path, std::size_t jobs,
+              std::ostream& out, std::ostream& err);
 
 /// `capture EXPERIMENT OUT.esst` — run one experiment of the reduced-scale
 /// study (core::fast_study_config) with an ESST drain capture; the producer
@@ -74,19 +94,25 @@ int cmd_verify(const std::string& path, std::ostream& out, std::ostream& err);
 int cmd_capture(const std::string& experiment, const std::string& out_path,
                 std::ostream& out, std::ostream& err);
 
-/// `capture-all DIR` — regenerate every canonical golden capture
-/// (baseline, ppm, wavelet, nbody, combined) into `DIR/<experiment>.esst`
-/// in one pass, fanned out over `jobs` executor workers (0 = ESS_JOBS or
-/// the hardware concurrency). Captures are bit-identical to serial
-/// `capture` runs of the same experiments. Returns 0 when every capture
-/// wrote cleanly.
+/// `capture-all DIR` — regenerate every canonical golden capture into
+/// `DIR` in one pass, fanned out over `jobs` executor workers (0 =
+/// ESS_JOBS or the hardware concurrency): the five single-node
+/// experiments (baseline, ppm, wavelet, nbody, combined) as
+/// `DIR/<experiment>.esst`, plus a 2-node reduced-scale cluster baseline
+/// as `DIR/cluster_node<N>.esst` per node and their `esstrace merge`
+/// result as `DIR/cluster.esst`. Captures are bit-identical to serial
+/// runs of the same experiments. Returns 0 when every capture wrote
+/// cleanly.
 int cmd_capture_all(const std::string& dir, std::size_t jobs,
                     std::ostream& out, std::ostream& err);
 
-/// Shared by stats/diff: stream any-format input through a StreamSummary.
-/// Damaged ESST chunks are skipped (their records counted as dropped), and
-/// capture-time drops from the trailer flow into the result's lossy
-/// annotation — a damaged file yields a labelled result, not an exception.
-telemetry::StreamSummary::Result summarize_file(const std::string& path);
+/// Shared by stats/diff: stream any-format input through a StreamSummary
+/// (ESST across `jobs` workers — 0 = ESS_JOBS or hardware concurrency;
+/// the result never depends on the count). Damaged ESST chunks are
+/// skipped (their records counted as dropped), and capture-time drops
+/// from the trailer flow into the result's lossy annotation — a damaged
+/// file yields a labelled result, not an exception.
+telemetry::StreamSummary::Result summarize_file(const std::string& path,
+                                                std::size_t jobs = 0);
 
 }  // namespace ess::esstrace

@@ -5,9 +5,10 @@
 //   esstrace cat     trace.esst                  > trace.csv
 //   esstrace convert trace.csv  trace.esst       (formats by extension)
 //   esstrace filter  in.esst out.esst --after 50 --before 120 --writes
-//   esstrace stats   trace.esst
+//   esstrace stats   trace.esst --jobs 8
 //   esstrace diff    golden.esst new.esst --pct-tol 2
 //   esstrace verify  trace.esst           (exit 0 clean / 1 lossy / 2 bad)
+//   esstrace merge   node1.esst node2.esst cluster.esst
 //   esstrace capture baseline golden.esst (reduced-scale study run)
 #include <cstdio>
 #include <cstdlib>
@@ -32,24 +33,35 @@ int usage(std::ostream& os, int code) {
         "          --after S --before S      time range, seconds\n"
         "          --sector-min N --sector-max N\n"
         "          --reads | --writes\n"
-        "  stats   FILE                 streaming characterization\n"
+        "  stats   FILE [--jobs N]      streaming characterization, chunks\n"
+        "                               fanned across N workers; output is\n"
+        "                               identical at any worker count\n"
         "  diff    A B [options]        compare characterizations\n"
         "          --pct-tol P   percentage-point tolerance (default 2)\n"
         "          --rel-tol R   relative tolerance on scalars (default "
         "0.05)\n"
         "          --topk K      hot-sector set size (default 5)\n"
         "          --overlap F   min top-K overlap fraction (default 0.6)\n"
-        "  verify  FILE                 integrity pass over an ESST capture\n"
+        "          --jobs N      scan workers per side\n"
+        "  verify  FILE [--jobs N]      integrity pass over an ESST capture\n"
         "                               exit 0 = clean, 1 = salvaged/lossy,\n"
         "                               2 = unreadable\n"
+        "  merge   IN... OUT [--jobs N] k-way merge of per-node captures\n"
+        "                               into one multi-node file, ordered\n"
+        "                               by (timestamp, node id); drop\n"
+        "                               counts aggregate into the trailer.\n"
+        "                               Same bytes at any --jobs value\n"
         "  capture EXPERIMENT OUT.esst  run one reduced-scale experiment\n"
         "                               (baseline|ppm|wavelet|nbody|combined)\n"
         "                               and write its ESST capture\n"
-        "  capture-all DIR [--jobs N]   regenerate every canonical capture\n"
-        "                               into DIR/<experiment>.esst in\n"
-        "                               parallel (default: ESS_JOBS or the\n"
-        "                               hardware concurrency); output is\n"
-        "                               bit-identical to serial captures\n";
+        "  capture-all DIR [--jobs N]   regenerate every canonical capture:\n"
+        "                               DIR/<experiment>.esst plus the\n"
+        "                               2-node cluster goldens\n"
+        "                               (cluster_node*.esst, cluster.esst)\n"
+        "                               in parallel; output is bit-identical\n"
+        "                               to serial captures\n"
+        "  --jobs N defaults to the ESS_JOBS environment variable when set,\n"
+        "  else the hardware thread count; results never depend on it\n";
   return code;
 }
 
@@ -134,13 +146,17 @@ int main(int argc, char** argv) {
       return cmd_filter(paths[0], paths[1], filter, std::cout, std::cerr);
     }
     if (cmd == "stats" && paths.size() == 1) {
-      return cmd_stats(paths[0], std::cout, std::cerr);
+      return cmd_stats(paths[0], std::cout, std::cerr, jobs);
     }
     if (cmd == "diff" && paths.size() == 2) {
-      return cmd_diff(paths[0], paths[1], tol, std::cout, std::cerr);
+      return cmd_diff(paths[0], paths[1], tol, std::cout, std::cerr, jobs);
     }
     if (cmd == "verify" && paths.size() == 1) {
-      return cmd_verify(paths[0], std::cout, std::cerr);
+      return cmd_verify(paths[0], std::cout, std::cerr, jobs);
+    }
+    if (cmd == "merge" && paths.size() >= 3) {
+      const std::vector<std::string> inputs(paths.begin(), paths.end() - 1);
+      return cmd_merge(inputs, paths.back(), jobs, std::cout, std::cerr);
     }
     if (cmd == "capture" && paths.size() == 2) {
       return cmd_capture(paths[0], paths[1], std::cout, std::cerr);
