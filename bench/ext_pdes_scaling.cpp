@@ -1,0 +1,71 @@
+// Extension E-pdes: the combined parallel workload on the sharded
+// window machine, swept across shard/worker counts.
+//
+// The PDES layer's contract is byte-level: partitioning the simulated
+// cluster across shards and running the shards on a thread pool must
+// reproduce the serial machine's per-node traces exactly. This harness
+// runs the production mix (PPM + wavelet + N-body spanning every node,
+// world = 3N ranks) once on the serial reference (1 shard, inline) and
+// then across a shard/job sweep, compares every node's trace against the
+// reference record for record, and prints the scaling table. ESS_NODES
+// overrides the node count (default 8; 1024 = the headline run).
+//
+// The workload runs at the reduced capture scale (core::fast_study_config)
+// regardless of ESS_FAST: the scaling axis here is the node count, not
+// the per-node I/O volume, and the fixed scale keeps the sweep's runs
+// comparable from 8 nodes to 1024.
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "bench/pdes_run.hpp"
+
+int main() {
+  using namespace ess;
+  int nodes = 8;
+  if (const char* v = std::getenv("ESS_NODES")) nodes = std::atoi(v);
+  if (nodes < 2) nodes = 2;
+
+  const core::StudyConfig scfg = core::fast_study_config();
+  const auto cap = static_cast<std::size_t>(nodes);
+  std::vector<std::pair<std::size_t, std::size_t>> sweep;  // (shards, jobs)
+  sweep.push_back({1, 1});  // serial reference
+  for (const auto& [s, j] : std::initializer_list<
+           std::pair<std::size_t, std::size_t>>{{2, 2}, {4, 4}, {8, 8}}) {
+    if (s <= cap && s > sweep.back().first) sweep.push_back({s, j});
+  }
+
+  std::printf("PDES shard scaling, combined load on %d nodes (world %d):\n\n",
+              nodes, 3 * nodes);
+  std::printf("  %7s %5s %9s %10s %10s %10s  %s\n", "shards", "jobs",
+              "wall s", "msgs", "barriers", "records", "vs serial");
+
+  bool all_completed = true;
+  bool all_identical = true;
+  bench::PdesRunResult ref;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto [s, j] = sweep[i];
+    auto r = bench::pdes_run_combined(nodes, s, j, scfg);
+    all_completed &= r.completed;
+    std::uint64_t records = 0;
+    for (const auto& t : r.traces) records += t.size();
+    const bool same = i == 0 || bench::pdes_traces_identical(ref.traces,
+                                                             r.traces);
+    all_identical &= same;
+    std::printf("  %7zu %5zu %9.2f %10llu %10llu %10llu  %s\n", s, j,
+                r.wall_seconds,
+                static_cast<unsigned long long>(r.stats.sends),
+                static_cast<unsigned long long>(r.stats.barriers_completed),
+                static_cast<unsigned long long>(records),
+                i == 0 ? "(reference)" : same ? "identical" : "DIVERGED");
+    if (i == 0) ref = std::move(r);
+  }
+  std::printf("\n");
+  bool ok = true;
+  ok &= bench::check("every run completed before the cap", all_completed, "");
+  ok &= bench::check("per-node traces identical at every shard/job count",
+                     all_identical, "");
+  return ok ? 0 : 1;
+}

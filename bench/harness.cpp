@@ -31,6 +31,7 @@
 #include "analysis/characterize.hpp"
 #include "analysis/parallel.hpp"
 #include "bench/common.hpp"
+#include "bench/pdes_run.hpp"
 #include "telemetry/esst.hpp"
 #include "trace/trace_set.hpp"
 #include "util/rng.hpp"
@@ -212,6 +213,61 @@ AnalysisScanBench analysis_scan_microbench() {
   return out;
 }
 
+// ---- PDES shard-scaling section ------------------------------------------
+
+struct PdesRow {
+  int nodes = 0;
+  std::size_t shards = 0;
+  std::size_t jobs = 0;
+  double wall_seconds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t records = 0;
+  bool completed = false;
+  bool identical_to_serial = true;
+};
+
+/// The sharded-machine scaling matrix: for each node count, a serial
+/// reference run (1 shard, inline pool) and a sharded run, every sharded
+/// row's per-node traces compared record for record against the serial
+/// ones. Fast mode stops at 64 nodes; the full matrix carries the
+/// 1024-node headline row. The workload stays at the reduced capture
+/// scale at every size — the axis is the node count.
+std::vector<PdesRow> pdes_scaling_bench() {
+  const core::StudyConfig scfg = core::fast_study_config();
+  struct Cell {
+    int nodes;
+    std::size_t shards, jobs;
+  };
+  std::vector<Cell> cells;
+  if (bench::fast_mode()) {
+    cells = {{16, 1, 1}, {16, 4, 4}, {64, 1, 1}, {64, 4, 4}};
+  } else {
+    cells = {{64, 1, 1},   {64, 8, 8},   {256, 1, 1},
+             {256, 8, 8},  {1024, 1, 1}, {1024, 8, 8}};
+  }
+  std::vector<PdesRow> rows;
+  std::vector<trace::TraceSet> serial_ref;
+  for (const auto& c : cells) {
+    auto r = bench::pdes_run_combined(c.nodes, c.shards, c.jobs, scfg);
+    PdesRow row;
+    row.nodes = c.nodes;
+    row.shards = c.shards;
+    row.jobs = c.jobs;
+    row.wall_seconds = r.wall_seconds;
+    row.messages = r.stats.sends;
+    for (const auto& t : r.traces) row.records += t.size();
+    row.completed = r.completed;
+    if (c.shards == 1 && c.jobs == 1) {
+      serial_ref = std::move(r.traces);
+    } else {
+      row.identical_to_serial =
+          bench::pdes_traces_identical(serial_ref, r.traces);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 // ---- subprocess bench targets --------------------------------------------
 
 /// Every standalone bench binary the harness supervises (micro_substrate
@@ -228,7 +284,7 @@ const char* const kTargets[] = {
     "ext_cluster_average", "ext_replay_tuning",
     "ext_region_decomposition",
     "ext_checkpoint_class", "ext_parallel_machine",
-    "ext_analysis_throughput",
+    "ext_analysis_throughput", "ext_pdes_scaling",
 };
 
 struct TargetOutcome {
@@ -437,7 +493,25 @@ int main(int argc, char** argv) {
     }
   }
 
-  // 3. Every standalone bench target, fanned out as subprocesses.
+  // 3. The PDES shard-scaling matrix, in-process.
+  const auto pdes_rows = pdes_scaling_bench();
+  std::printf("\nPDES shard scaling (combined load, capture scale):\n");
+  std::printf("  %6s %7s %5s %9s %10s %10s  %s\n", "nodes", "shards",
+              "jobs", "wall s", "msgs", "records", "vs serial");
+  for (const auto& r : pdes_rows) {
+    const bool serial = r.shards == 1 && r.jobs == 1;
+    const bool row_ok = r.completed && r.identical_to_serial;
+    all_ok &= row_ok;
+    std::printf("  %6d %7zu %5zu %9.2f %10llu %10llu  %s%s\n", r.nodes,
+                r.shards, r.jobs, r.wall_seconds,
+                static_cast<unsigned long long>(r.messages),
+                static_cast<unsigned long long>(r.records),
+                serial ? "(reference)"
+                       : r.identical_to_serial ? "identical" : "DIVERGED",
+                r.completed ? "" : "  !! CAPPED");
+  }
+
+  // 4. Every standalone bench target, fanned out as subprocesses.
   std::vector<TargetOutcome> targets;
   if (run_targets) {
     const auto bin_dir =
@@ -470,7 +544,7 @@ int main(int argc, char** argv) {
   for (const auto& row : rows) serial_estimate += row.wall_seconds;
   for (const auto& t : targets) serial_estimate += t.wall_seconds;
 
-  // 4. BENCH_results.json.
+  // 5. BENCH_results.json.
   {
     std::ofstream f(json_path);
     Json j(f);
@@ -514,6 +588,29 @@ int main(int argc, char** argv) {
       j.close(']');
       j.close('}');
     }
+    j.key("pdes_scaling");
+    j.open('[');
+    for (const auto& r : pdes_rows) {
+      j.open('{');
+      j.key("nodes");
+      j.value(static_cast<std::uint64_t>(r.nodes));
+      j.key("shards");
+      j.value(static_cast<std::uint64_t>(r.shards));
+      j.key("jobs");
+      j.value(static_cast<std::uint64_t>(r.jobs));
+      j.key("wall_seconds");
+      j.value(r.wall_seconds);
+      j.key("messages");
+      j.value(r.messages);
+      j.key("records");
+      j.value(r.records);
+      j.key("completed");
+      j.value(r.completed);
+      j.key("identical_to_serial");
+      j.value(r.identical_to_serial);
+      j.close('}');
+    }
+    j.close(']');
     j.key("experiments");
     j.open('[');
     for (const auto& row : rows) {

@@ -22,12 +22,21 @@ std::unique_ptr<std::ifstream> open_binary(const std::string& path) {
   return f;
 }
 
+/// Every shard pays a fixed cost before it decodes anything: it re-opens
+/// the file and re-parses the header + chunk index. Below this many chunks
+/// that fixed cost outweighs the decode work the shard amortizes it over,
+/// and --jobs > 1 loses to the serial loop on small captures.
+constexpr std::size_t kMinChunksPerShard = 4;
+
 /// Contiguous chunk ranges, a few per worker so a shard of dense chunks
-/// cannot straggle the whole scan.
+/// cannot straggle the whole scan, but never more shards than the chunk
+/// count can feed at kMinChunksPerShard each.
 std::vector<std::pair<std::size_t, std::size_t>> shard_ranges(
     std::size_t chunks, std::size_t workers) {
+  const std::size_t by_min_size =
+      std::max<std::size_t>(1, chunks / kMinChunksPerShard);
   const std::size_t shards =
-      std::max<std::size_t>(1, std::min(chunks, workers * 4));
+      std::max<std::size_t>(1, std::min({chunks, workers * 4, by_min_size}));
   std::vector<std::pair<std::size_t, std::size_t>> out;
   out.reserve(shards);
   std::size_t lo = 0;
@@ -58,7 +67,10 @@ ScanResult scan_esst(const std::string& path, std::size_t jobs,
   out.capture_dropped = reader.capture_dropped();
   const std::size_t nchunks = reader.chunks().size();
 
-  if (workers <= 1 || out.salvaged || nchunks < 2) {
+  // Small captures (fewer than two minimum-size shards) take the serial
+  // loop outright: this reader already parsed the index, and one shard on
+  // the pool would only add a re-open + re-parse to the same work.
+  if (workers <= 1 || out.salvaged || nchunks < 2 * kMinChunksPerShard) {
     // The serial reference loop. Salvaged files stay here on purpose: each
     // shard worker re-parses the file it opens, and re-parsing a file with
     // no trusted index is itself a whole-file scan per shard.
@@ -115,7 +127,7 @@ telemetry::SalvageReport verify_esst(const std::string& path,
   const auto file = open_binary(path);
   telemetry::EsstReader reader(*file);
   const std::size_t nchunks = reader.chunks().size();
-  if (workers <= 1 || reader.salvaged() || nchunks < 2) {
+  if (workers <= 1 || reader.salvaged() || nchunks < 2 * kMinChunksPerShard) {
     // Salvaged files keep the serial pass: the damage the constructor's
     // scan already discarded lives in that reader's state.
     return reader.verify();

@@ -1,0 +1,39 @@
+// Canonical StudyConfig presets.
+//
+// The full-scale StudyConfig{} reproduces the paper's runs (2000 s
+// baseline, ~250 s applications) and is what the figures regenerate from.
+// The *fast* preset is the reduced-scale configuration shared by
+// `esstrace capture`/`capture-all`, the golden captures in tests/golden/,
+// and the test suites: same hardware model, same seed, same workload
+// *structure*, with durations and iteration counts cut so a full capture
+// runs in well under a second. The committed goldens were produced under
+// exactly this configuration — change it only together with them.
+#pragma once
+
+#include "core/study.hpp"
+
+namespace ess::core {
+
+/// The reduced-scale study configuration (the golden-capture scale).
+inline StudyConfig fast_study_config() {
+  StudyConfig cfg;
+  cfg.baseline_duration = sec(120);
+  cfg.max_run_time = sec(1200);
+  cfg.ppm.nx = 60;
+  cfg.ppm.ny = 120;
+  cfg.ppm.steps = 8;
+  cfg.ppm.summary_every = 4;
+  cfg.ppm.image_warm_fraction = 1.0;
+  cfg.nbody.bodies = 1024;
+  cfg.nbody.steps = 4;
+  cfg.nbody.checkpoint_every = 2;
+  cfg.nbody.image_warm_fraction = 0.95;
+  cfg.wavelet.image_size = 128;
+  cfg.wavelet.reference_count = 1;
+  cfg.wavelet.search_coarse = 32;
+  cfg.wavelet.search_mid = 16;
+  cfg.wavelet.search_fine = 8;
+  return cfg;
+}
+
+}  // namespace ess::core

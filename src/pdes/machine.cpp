@@ -1,0 +1,197 @@
+#include "pdes/machine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+
+namespace ess::pdes {
+namespace {
+
+std::size_t resolve_workers(std::size_t jobs) {
+  const std::size_t w = jobs == 0 ? exec::default_workers() : jobs;
+  return std::max<std::size_t>(w, 1);
+}
+
+std::size_t resolve_shards(const MachineConfig& cfg) {
+  if (cfg.nodes < 1) throw std::invalid_argument("pdes::Machine: no nodes");
+  const std::size_t want =
+      cfg.shards != 0 ? cfg.shards : resolve_workers(cfg.jobs);
+  return std::min<std::size_t>(std::max<std::size_t>(want, 1),
+                               static_cast<std::size_t>(cfg.nodes));
+}
+
+}  // namespace
+
+Machine::Machine(MachineConfig cfg)
+    : workers_(resolve_workers(cfg.jobs)),
+      pool_(workers_ <= 1 ? 0 : workers_),
+      fabric_(cfg.ethernet, resolve_shards(cfg)) {
+  const std::size_t shards = resolve_shards(cfg);
+  const auto n = static_cast<std::size_t>(cfg.nodes);
+  engines_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    engines_.push_back(std::make_unique<sim::Engine>());
+    engine_ptrs_.push_back(engines_.back().get());
+  }
+  // Contiguous blocks of nodes per shard, sized within one of each other.
+  nodes_.reserve(n);
+  shard_of_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t shard = i * shards / n;
+    kernel::KernelConfig ncfg = cfg.node;
+    ncfg.seed = cfg.node.seed + i * 7919;  // pvm::Machine's per-node jitter
+    if (cfg.tune_node) cfg.tune_node(static_cast<int>(i), ncfg);
+    nodes_.push_back(std::make_unique<kernel::NodeKernel>(
+        *engines_[shard], ncfg, static_cast<int>(i)));
+    nodes_.back()->set_fabric(&fabric_);
+    shard_of_.push_back(shard);
+  }
+  // Settle every node's setup I/O. No process exists yet, so no fabric
+  // traffic: a plain bounded run per shard is already partition-invariant.
+  run_window(now_ + sec(2), /*before=*/false);
+  now_ += sec(2);
+}
+
+void Machine::stage(int node_idx, const workload::OpTrace& w) {
+  auto& nd = node(node_idx);
+  // warm_file pumps the node's engine until the warm read lands, so staging
+  // advances simulated time. Serialize the stagings on one global timeline —
+  // each starts where the previous ended, whatever shard it lives on —
+  // exactly as they would interleave on a single shared engine. Without
+  // this, a node's staging clock would depend on which nodes share its
+  // shard, and every later event would inherit the skew.
+  SimTime clock = now_;
+  for (const auto& e : engines_) clock = std::max(clock, e->now());
+  nd.engine().run_until(clock);
+  if (w.image_bytes > 0) {
+    nd.stage_input_file("/bin/" + w.app_name, w.image_bytes,
+                        nd.config().layout.image_region_block);
+    nd.warm_file("/bin/" + w.app_name, w.image_warm_fraction);
+  }
+  for (const auto& f : w.files) {
+    if (!f.create && f.input_size > 0) {
+      nd.stage_input_file(f.path, f.input_size, f.goal_block);
+    }
+  }
+  nd.fsys().sync();
+  now_ = std::max(now_, nd.engine().now());
+}
+
+mm::Pid Machine::spawn_rank(int node_idx, workload::OpTrace trace,
+                            int rank) {
+  auto& nd = node(node_idx);
+  const mm::Pid pid = nd.spawn_deferred(std::move(trace));
+  nd.set_rank(pid, rank);
+  fabric_.register_task(rank, &nd, pid,
+                        shard_of_[static_cast<std::size_t>(node_idx)]);
+  if (fabric_.world_size() > 0) {
+    held_.push_back({node_idx, pid});
+    if (fabric_.task_count() >= fabric_.world_size()) {
+      for (const auto& [ni, p] : held_) node(ni).start(p);
+      held_.clear();
+    }
+  } else {
+    nd.start(pid);
+  }
+  return pid;
+}
+
+void Machine::ioctl_all(driver::TraceLevel level) {
+  for (auto& nd : nodes_) nd->ioctl_trace(level);
+}
+
+void Machine::drain() { fabric_.drain(engine_ptrs_); }
+
+SimTime Machine::horizon() {
+  SimTime t = sim::Engine::kNoEvent;
+  for (auto& e : engines_) t = std::min(t, e->next_time());
+  return t;
+}
+
+void Machine::run_window(SimTime t, bool before) {
+  if (pool_.workers() == 0) {
+    for (auto& e : engines_) {
+      before ? e->run_before(t) : e->run_until(t);
+    }
+    return;
+  }
+  // Pool jobs must not throw; park the first failure per shard and
+  // rethrow once the window barrier is down.
+  std::vector<std::exception_ptr> errs(engines_.size());
+  for (std::size_t s = 0; s < engines_.size(); ++s) {
+    sim::Engine* e = engines_[s].get();
+    pool_.submit([e, t, before, err = &errs[s]] {
+      try {
+        before ? e->run_before(t) : e->run_until(t);
+      } catch (...) {
+        *err = std::current_exception();
+      }
+    });
+  }
+  pool_.wait_idle();
+  for (auto& err : errs) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+void Machine::run_for(SimTime d) {
+  const SimTime target = now_ + d;
+  const SimTime lookahead = fabric_.lookahead();
+  for (;;) {
+    drain();
+    const SimTime tmin = horizon();
+    if (tmin >= target) break;
+    const SimTime b = std::min(tmin + lookahead, target);
+    run_window(b, /*before=*/true);
+    now_ = b;
+  }
+  // Events at exactly `target` still fire inside this call; anything they
+  // send stays in the outboxes for the next drain, which happens at
+  // now == target — never behind the deliveries' times.
+  run_window(target, /*before=*/false);
+  now_ = target;
+}
+
+bool Machine::all_done() const {
+  for (const auto& nd : nodes_) {
+    if (!nd->all_done()) return false;
+  }
+  return true;
+}
+
+bool Machine::run_until_all_done(SimTime max_time) {
+  const SimTime lookahead = fabric_.lookahead();
+  while (!all_done()) {
+    drain();
+    const SimTime tmin = horizon();
+    if (tmin == sim::Engine::kNoEvent) {
+      throw std::logic_error(
+          "pdes::Machine: deadlock — processes pending but no events or "
+          "in-flight messages anywhere");
+    }
+    if (tmin >= max_time) {
+      run_window(max_time, /*before=*/false);
+      now_ = max_time;
+      drain();
+      return all_done();
+    }
+    const SimTime b = std::min(tmin + lookahead, max_time);
+    run_window(b, /*before=*/true);
+    now_ = b;
+  }
+  return true;
+}
+
+std::vector<trace::TraceSet> Machine::collect(const std::string& experiment,
+                                              SimTime t0) {
+  std::vector<trace::TraceSet> out;
+  out.reserve(nodes_.size());
+  for (auto& nd : nodes_) {
+    auto ts = nd->collect_trace(experiment);
+    ts.rebase(t0);
+    out.push_back(std::move(ts));
+  }
+  return out;
+}
+
+}  // namespace ess::pdes

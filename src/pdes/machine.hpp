@@ -1,0 +1,112 @@
+// The sharded Beowulf: N NodeKernels partitioned over S independent
+// discrete-event engines, advanced in lockstep time windows on a thread
+// pool — a conservative parallel discrete-event simulation of the same
+// machine pvm::Machine runs on one clock.
+//
+// The window protocol (see fabric.hpp for the fabric side):
+//
+//   1. drain: inject every pending cross-shard delivery and barrier
+//      release into the owning shards' engines, in one globally sorted
+//      order.
+//   2. horizon: tmin = the earliest pending event over all shards.
+//   3. window: every shard runs run_before(B) with B = tmin + lookahead,
+//      concurrently — safe because nothing a node does before B can
+//      affect another shard before B (every cross-node path pays at
+//      least the Ethernet latency, and it is the lookahead).
+//   4. repeat.
+//
+// Nodes interact only through the fabric, and the fabric's outputs
+// (delivery times, delivery order, barrier releases) are pure functions
+// of per-node histories — so per-node event streams, traces, and the
+// merged capture are byte-identical at any shard count and any worker
+// count, including shards = 1 (the serial reference).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/ethernet.hpp"
+#include "exec/thread_pool.hpp"
+#include "kernel/node_kernel.hpp"
+#include "pdes/fabric.hpp"
+#include "workload/op.hpp"
+
+namespace ess::pdes {
+
+struct MachineConfig {
+  int nodes = 16;
+  /// Engine partitions. 0 picks one per worker (capped at the node
+  /// count). Any value yields identical results; more shards than
+  /// workers just buys scheduling slack.
+  std::size_t shards = 0;
+  /// Pool workers driving the shards. 0 = ESS_JOBS / hardware threads;
+  /// 1 runs every shard inline (the serial reference path).
+  std::size_t jobs = 1;
+  kernel::KernelConfig node;
+  cluster::EthernetConfig ethernet;
+  /// Per-node override hook, applied after the per-node seed jitter —
+  /// the place to attach per-node fault plans or RAM asymmetries.
+  std::function<void(int node, kernel::KernelConfig&)> tune_node;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg);
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  std::size_t shard_count() const { return engines_.size(); }
+  kernel::NodeKernel& node(int i) {
+    return *nodes_.at(static_cast<std::size_t>(i));
+  }
+  std::size_t shard_of(int node_idx) const {
+    return shard_of_.at(static_cast<std::size_t>(node_idx));
+  }
+  WindowFabric& fabric() { return fabric_; }
+  /// Between public calls every shard clock agrees; this is that time.
+  SimTime now() const { return now_; }
+
+  /// Stage a workload's inputs and (warmed) image on one node, as the
+  /// Study does before tracing.
+  void stage(int node_idx, const workload::OpTrace& w);
+
+  /// Spawn `trace` on a node as PVM rank `rank`; with a declared world
+  /// size processes are held until every rank exists (pvm::Machine's
+  /// contract).
+  mm::Pid spawn_rank(int node_idx, workload::OpTrace trace, int rank);
+
+  void ioctl_all(driver::TraceLevel level);
+
+  /// Advance every shard by `d` through lookahead windows.
+  void run_for(SimTime d);
+
+  bool all_done() const;
+
+  /// Windows until every process on every node finished (true) or the
+  /// cap was reached (false). Throws on a true deadlock: blocked
+  /// processes with no event or in-flight message anywhere.
+  bool run_until_all_done(SimTime max_time);
+
+  /// Per-node traces, rebased to `t0`. Identical at any shard/job count.
+  std::vector<trace::TraceSet> collect(const std::string& experiment,
+                                       SimTime t0);
+
+ private:
+  void drain();
+  SimTime horizon();  // earliest pending event over all shards
+  /// One concurrent pass over the shards: run_before(t) or run_until(t).
+  void run_window(SimTime t, bool before);
+
+  std::size_t workers_;
+  exec::ThreadPool pool_;
+  std::vector<std::unique_ptr<sim::Engine>> engines_;
+  std::vector<sim::Engine*> engine_ptrs_;
+  WindowFabric fabric_;
+  std::vector<std::unique_ptr<kernel::NodeKernel>> nodes_;
+  std::vector<std::size_t> shard_of_;
+  std::vector<std::pair<int, mm::Pid>> held_;  // awaiting full world
+  SimTime now_ = 0;
+};
+
+}  // namespace ess::pdes

@@ -102,6 +102,20 @@ void Engine::run_until(SimTime t) {
   if (now_ < t) now_ = t;
 }
 
+void Engine::run_before(SimTime t) {
+  for (;;) {
+    while (!queue_.empty() && !entry_live(queue_.top())) queue_.pop();
+    if (queue_.empty() || queue_.top().when >= t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+SimTime Engine::next_time() {
+  while (!queue_.empty() && !entry_live(queue_.top())) queue_.pop();
+  return queue_.empty() ? kNoEvent : queue_.top().when;
+}
+
 void Engine::run() {
   while (step()) {
   }

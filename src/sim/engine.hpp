@@ -60,6 +60,19 @@ class Engine {
   /// time <= t have fired and now() == t.
   void run_until(SimTime t);
 
+  /// Bounded-horizon run: fire every event with time strictly before `t`,
+  /// then set now() = max(now, t). Events at exactly `t` stay pending, so
+  /// a caller holding new work for time `t` (a conservative PDES window
+  /// boundary) can still schedule it — schedule_at(t) remains legal.
+  void run_before(SimTime t);
+
+  /// Sentinel returned by next_time() when no events are pending.
+  static constexpr SimTime kNoEvent = ~SimTime{0} >> 1;
+
+  /// Time of the earliest pending event without firing it (cancelled
+  /// entries are cleaned off the head), or kNoEvent if none are pending.
+  SimTime next_time();
+
   /// Advance the clock by `dt`, firing everything due in between.
   void advance(SimTime dt) { run_until(now_ + dt); }
 

@@ -268,5 +268,34 @@ TEST(Engine, ScheduleCancelChurnKeepsPendingExact) {
   EXPECT_EQ(e.fired(), expected);
 }
 
+TEST(Engine, RunBeforeLeavesEventsAtBoundaryPending) {
+  Engine e;
+  int fired_early = 0, fired_at = 0;
+  e.schedule_at(50, [&] { ++fired_early; });
+  e.schedule_at(100, [&] { ++fired_at; });
+  e.run_before(100);
+  EXPECT_EQ(fired_early, 1);
+  EXPECT_EQ(fired_at, 0);  // boundary event stays pending
+  EXPECT_EQ(e.now(), 100u);
+  // The clock sits exactly at the boundary, so injecting new work *at*
+  // the boundary is still legal — the conservative-window use case.
+  e.schedule_at(100, [&] { ++fired_at; });
+  e.run_until(100);
+  EXPECT_EQ(fired_at, 2);
+}
+
+TEST(Engine, NextTimeSkipsCancelledHeads) {
+  Engine e;
+  EXPECT_EQ(e.next_time(), Engine::kNoEvent);
+  const auto a = e.schedule_at(10, [] {});
+  e.schedule_at(30, [] {});
+  EXPECT_EQ(e.next_time(), 10u);
+  ASSERT_TRUE(e.cancel(a));
+  EXPECT_EQ(e.next_time(), 30u);  // cancelled head cleaned, not reported
+  EXPECT_EQ(e.fired(), 0u);       // peeking fires nothing
+  e.run();
+  EXPECT_EQ(e.next_time(), Engine::kNoEvent);
+}
+
 }  // namespace
 }  // namespace ess::sim

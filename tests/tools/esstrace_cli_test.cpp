@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "fault/fault.hpp"
 #include "telemetry/esst.hpp"
@@ -302,6 +304,73 @@ TEST_F(EsstraceCli, MergeProducesAMultiNodeFileStatsBreakDownPerNode) {
   ASSERT_EQ(cmd_stats(merged, j8, err, 8), 0);
   EXPECT_EQ(j1.str(), j8.str());
   for (const auto& p : {n1, n2, merged}) std::remove(p.c_str());
+}
+
+TEST_F(EsstraceCli, MergeExpandsDirectoriesAndGlobsToTheSameBytes) {
+  // A directory of per-node captures, merged three ways — explicit file
+  // list, the directory itself, and a glob — must produce identical
+  // bytes. Re-merging the directory after the first merge left its result
+  // inside must not double-count it.
+  namespace fs = std::filesystem;
+  const std::string dir = tmp_path("cli_merge_dir");
+  fs::create_directories(dir);
+  std::vector<std::string> parts;
+  const auto base = sample();
+  for (int n = 1; n <= 3; ++n) {
+    trace::TraceSet ts("cli-dir", n);
+    for (const auto& r : base.records()) {
+      auto shifted = r;
+      shifted.timestamp += static_cast<SimTime>(n) * 700;
+      ts.add(shifted);
+    }
+    ts.set_duration(base.duration() + 2100);
+    telemetry::EsstMeta meta;
+    meta.node_id = n;
+    const std::string path = dir + "/node" + std::to_string(n) + ".esst";
+    telemetry::write_esst_file(ts, path, meta);
+    parts.push_back(path);
+  }
+  std::ostringstream out, err;
+  const auto by_list = tmp_path("cli_by_list.esst");
+  ASSERT_EQ(cmd_merge(parts, by_list, 1, out, err), 0) << err.str();
+  const auto by_dir = dir + "/merged.esst";
+  ASSERT_EQ(cmd_merge({dir}, by_dir, 2, out, err), 0) << err.str();
+  const auto by_glob = tmp_path("cli_by_glob.esst");
+  ASSERT_EQ(cmd_merge({dir + "/node*.esst"}, by_glob, 1, out, err), 0)
+      << err.str();
+  EXPECT_EQ(slurp(by_dir), slurp(by_list));
+  EXPECT_EQ(slurp(by_glob), slurp(by_list));
+  // merged.esst sits inside dir now; expansion must skip it.
+  const auto again = tmp_path("cli_by_dir_again.esst");
+  ASSERT_EQ(cmd_merge({dir}, again, 1, out, err), 0) << err.str();
+  EXPECT_EQ(slurp(again), slurp(by_list));
+  // Per-node breakdown in `info` on the multi-node result.
+  std::ostringstream info;
+  ASSERT_EQ(cmd_info(by_dir, info, err), 0) << err.str();
+  EXPECT_NE(info.str().find("nodes           3  (ids 1..3)"),
+            std::string::npos);
+  EXPECT_NE(info.str().find("node      2"), std::string::npos);
+  // Single-node files never print the section.
+  std::ostringstream single;
+  ASSERT_EQ(cmd_info(esst_, single, err), 0) << err.str();
+  EXPECT_EQ(single.str().find("nodes "), std::string::npos);
+  fs::remove_all(dir);
+  for (const auto& p : {by_list, by_glob, again}) std::remove(p.c_str());
+}
+
+TEST_F(EsstraceCli, MergeReportsEmptyDirectoryAndDeadGlob) {
+  namespace fs = std::filesystem;
+  const std::string dir = tmp_path("cli_merge_empty");
+  fs::create_directories(dir);
+  std::ostringstream out, err;
+  EXPECT_EQ(cmd_merge({dir}, tmp_path("cli_none.esst"), 1, out, err), 2);
+  EXPECT_NE(err.str().find("no .esst files"), std::string::npos);
+  err.str("");
+  EXPECT_EQ(cmd_merge({dir + "/nothing*.esst"}, tmp_path("cli_none.esst"),
+                      1, out, err),
+            2);
+  EXPECT_NE(err.str().find("nothing matches"), std::string::npos);
+  fs::remove_all(dir);
 }
 
 TEST_F(EsstraceCli, MergeRejectsNonEsstInput) {

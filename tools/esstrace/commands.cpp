@@ -8,12 +8,18 @@
 #include <ostream>
 #include <stdexcept>
 
+#include <algorithm>
+#include <map>
+
 #include "analysis/parallel.hpp"
 #include "cluster/cluster.hpp"
 #include "core/presets.hpp"
 #include "exec/experiments.hpp"
 #include "exec/thread_pool.hpp"
+#include "pdes/machine.hpp"
+#include "pvm/parallel_apps.hpp"
 #include "trace/io.hpp"
+#include "util/rng.hpp"
 
 namespace ess::esstrace {
 namespace {
@@ -168,6 +174,30 @@ int cmd_info(const std::string& path, std::ostream& out, std::ostream& err) {
   if (reader.capture_dropped() > 0) {
     put(out, "capture drops   %llu record(s) overflowed the kernel ring\n",
         static_cast<unsigned long long>(reader.capture_dropped()));
+  }
+  if (m.multi_node) {
+    // A v2 (merged) file: every record carries its origin node, so one
+    // decode pass gives the per-node breakdown and the id range.
+    std::map<std::int32_t, std::uint64_t> per_node;
+    std::vector<trace::Record> recs;
+    for (std::size_t i = 0; i < reader.chunks().size(); ++i) {
+      try {
+        reader.read_chunk_into(i, recs);
+      } catch (const std::runtime_error&) {
+        continue;  // damaged chunks are already reported above
+      }
+      for (const auto& r : recs) ++per_node[r.node];
+    }
+    if (per_node.empty()) {
+      out << "nodes           0\n";
+    } else {
+      put(out, "nodes           %zu  (ids %d..%d)\n", per_node.size(),
+          per_node.begin()->first, per_node.rbegin()->first);
+      for (const auto& [node, count] : per_node) {
+        put(out, "  node %6d  %12llu records\n", node,
+            static_cast<unsigned long long>(count));
+      }
+    }
   }
   out << "  chunk     offset   records        t_first..t_last      "
          "sectors\n";
@@ -343,10 +373,90 @@ int cmd_verify(const std::string& path, std::ostream& out, std::ostream& err,
   }
 }
 
-int cmd_merge(const std::vector<std::string>& inputs,
+namespace {
+
+/// Shell-style `*`/`?` match on a file name (no character classes — the
+/// per-node capture names this expands never need them).
+bool glob_match(const char* pat, const char* name) {
+  for (; *pat != '\0'; ++pat, ++name) {
+    if (*pat == '*') {
+      while (*pat == '*') ++pat;
+      for (const char* n = name + std::strlen(name); n >= name; --n) {
+        if (glob_match(pat, n)) return true;
+      }
+      return false;
+    }
+    if (*name == '\0' || (*pat != '?' && *pat != *name)) return false;
+  }
+  return *name == '\0';
+}
+
+/// True when `path` is a readable ESST file already carrying multiple
+/// nodes' records (a previous merge result). Unreadable files say false —
+/// they pass through expansion so cmd_merge reports them itself.
+bool is_merged_capture(const std::string& path) {
+  try {
+    std::ifstream f(path, std::ios::binary);
+    telemetry::EsstReader reader(f);
+    return reader.meta().multi_node;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> expand_merge_inputs(
+    const std::vector<std::string>& inputs) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  for (const auto& in : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(in, ec)) {
+      std::vector<std::string> found;
+      for (const auto& e : fs::directory_iterator(in)) {
+        // A directory stands for the per-node captures in it; skip any
+        // previous merge result living alongside them.
+        if (e.is_regular_file() && e.path().extension() == ".esst" &&
+            !is_merged_capture(e.path().string())) {
+          found.push_back(e.path().string());
+        }
+      }
+      if (found.empty()) {
+        throw std::runtime_error("merge: no .esst files in " + in);
+      }
+      std::sort(found.begin(), found.end());
+      out.insert(out.end(), found.begin(), found.end());
+    } else if (in.find_first_of("*?") != std::string::npos) {
+      const fs::path pat(in);
+      const fs::path dir =
+          pat.parent_path().empty() ? fs::path(".") : pat.parent_path();
+      const std::string name_pat = pat.filename().string();
+      std::vector<std::string> found;
+      for (const auto& e : fs::directory_iterator(dir)) {
+        if (e.is_regular_file() &&
+            glob_match(name_pat.c_str(),
+                       e.path().filename().string().c_str())) {
+          found.push_back(e.path().string());
+        }
+      }
+      if (found.empty()) {
+        throw std::runtime_error("merge: nothing matches " + in);
+      }
+      std::sort(found.begin(), found.end());
+      out.insert(out.end(), found.begin(), found.end());
+    } else {
+      out.push_back(in);
+    }
+  }
+  return out;
+}
+
+int cmd_merge(const std::vector<std::string>& raw_inputs,
               const std::string& out_path, std::size_t jobs,
               std::ostream& out, std::ostream& err) {
   try {
+    const std::vector<std::string> inputs = expand_merge_inputs(raw_inputs);
     for (const auto& in : inputs) {
       if (sniff_format(in) != TraceFormat::kEsst) {
         err << "esstrace merge: " << in << " is not an ESST file\n";
@@ -469,6 +579,92 @@ int cmd_capture_all(const std::string& dir, std::size_t jobs,
     return rc != 0 ? rc : cluster_rc;
   } catch (const std::exception& ex) {
     err << "esstrace capture-all: " << ex.what() << "\n";
+    return 2;
+  }
+}
+
+int cmd_capture_pdes(const std::string& dir, int nodes, std::size_t shards,
+                     std::size_t jobs, std::ostream& out,
+                     std::ostream& err) {
+  if (nodes < 2) {
+    err << "esstrace capture-pdes: need at least 2 nodes\n";
+    return 2;
+  }
+  try {
+    std::filesystem::create_directories(dir);
+    const core::StudyConfig scfg = core::fast_study_config();
+    kernel::KernelConfig node_cfg = scfg.node;
+    node_cfg.max_coalesce_blocks = scfg.combined_coalesce_blocks;
+    node_cfg.readahead_ceiling_blocks = scfg.combined_readahead_blocks;
+
+    pdes::MachineConfig mcfg;
+    mcfg.nodes = nodes;
+    mcfg.shards = shards;
+    mcfg.jobs = jobs;
+    mcfg.node = node_cfg;
+    pdes::Machine m(mcfg);
+
+    // The combined parallel load: the three SPMD applications each
+    // spanning every node, globally-numbered ranks, per-job barrier
+    // groups (ext_parallel_machine's layout, on the sharded machine).
+    Rng rng(scfg.seed);
+    auto ppm = pvm::parallel_ppm(scfg.ppm, nodes, node_cfg.cpu_mflops, rng);
+    auto wav =
+        pvm::parallel_wavelet(scfg.wavelet, nodes, node_cfg.cpu_mflops, rng);
+    auto nb =
+        pvm::parallel_nbody(scfg.nbody, nodes, node_cfg.cpu_mflops, rng);
+    for (int r = 0; r < nodes; ++r) {
+      pvm::retarget(wav[static_cast<std::size_t>(r)], nodes, 1);
+      pvm::retarget(nb[static_cast<std::size_t>(r)], 2 * nodes, 2);
+    }
+    m.fabric().set_world_size(3 * nodes);
+    for (int r = 0; r < nodes; ++r) {
+      m.stage(r, ppm[static_cast<std::size_t>(r)]);
+      m.stage(r, wav[static_cast<std::size_t>(r)]);
+      m.stage(r, nb[static_cast<std::size_t>(r)]);
+    }
+    m.run_for(sec(2));
+    const SimTime t0 = m.now();
+    m.ioctl_all(driver::TraceLevel::kStandard);
+    for (int r = 0; r < nodes; ++r) {
+      m.spawn_rank(r, std::move(ppm[static_cast<std::size_t>(r)]), r);
+      m.spawn_rank(r, std::move(wav[static_cast<std::size_t>(r)]),
+                   nodes + r);
+      m.spawn_rank(r, std::move(nb[static_cast<std::size_t>(r)]),
+                   2 * nodes + r);
+    }
+    const bool done = m.run_until_all_done(t0 + scfg.max_run_time);
+    m.run_for(sec(35));  // the study's post-completion daemon tail
+    m.ioctl_all(driver::TraceLevel::kOff);
+    const auto traces = m.collect("pdes combined", t0);
+
+    const auto stats = m.fabric().stats();
+    put(out,
+        "pdes: %d nodes over %zu shard(s), run %s: %llu msgs, %llu "
+        "barriers\n",
+        nodes, m.shard_count(), done ? "completed" : "CAPPED",
+        static_cast<unsigned long long>(stats.sends),
+        static_cast<unsigned long long>(stats.barriers_completed));
+
+    std::vector<std::string> parts;
+    std::uint64_t total_records = 0;
+    for (std::size_t n = 0; n < traces.size(); ++n) {
+      telemetry::EsstMeta meta;
+      meta.node_id = static_cast<std::int32_t>(n + 1);
+      meta.seed = scfg.seed;
+      char name[40];
+      std::snprintf(name, sizeof name, "pdes_node%04zu.esst", n + 1);
+      const std::string path = dir + "/" + name;
+      telemetry::write_esst_file(traces[n], path, meta);
+      total_records += traces[n].size();
+      parts.push_back(path);
+    }
+    put(out, "pdes: %zu per-node captures (%llu records) -> %s\n",
+        parts.size(), static_cast<unsigned long long>(total_records),
+        (dir + "/pdes_node*.esst").c_str());
+    return cmd_merge(parts, dir + "/pdes.esst", jobs, out, err);
+  } catch (const std::exception& ex) {
+    err << "esstrace capture-pdes: " << ex.what() << "\n";
     return 2;
   }
 }

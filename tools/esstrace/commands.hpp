@@ -76,16 +76,39 @@ int cmd_diff(const std::string& a, const std::string& b,
 int cmd_verify(const std::string& path, std::ostream& out, std::ostream& err,
                std::size_t jobs = 0);
 
+/// Expand merge inputs: a directory becomes every `*.esst` inside it
+/// (skipping already-merged multi-node files, so a previous merge result
+/// alongside the per-node captures is not double-counted), a pattern
+/// containing `*` or `?` matches names in its parent directory, both in
+/// sorted name order (so "DIR" or "DIR/node*.esst" stands in for a
+/// thousand per-node paths); plain paths pass through. Throws when a
+/// directory or pattern matches nothing.
+std::vector<std::string> expand_merge_inputs(
+    const std::vector<std::string>& inputs);
+
 /// `merge IN... OUT [--jobs N]` — k-way streaming merge of per-node ESST
 /// captures into one multi-node (format v2) file, ordered by timestamp
-/// with node id as the tie-break. Each merged record carries its origin
-/// node; the output trailer aggregates every input's drop count. The
-/// output bytes are a pure function of the input files — independent of
-/// --jobs (workers only prefetch chunk decodes). Returns 0 on success, 2
-/// on unreadable inputs.
+/// with node id as the tie-break. Each IN may be a file, a directory
+/// (every *.esst inside, name-sorted), or a `*`/`?` glob. Each merged
+/// record carries its origin node; the output trailer aggregates every
+/// input's drop count. The output bytes are a pure function of the input
+/// files — independent of --jobs (workers only prefetch chunk decodes).
+/// Returns 0 on success, 2 on unreadable inputs.
 int cmd_merge(const std::vector<std::string>& inputs,
               const std::string& out_path, std::size_t jobs,
               std::ostream& out, std::ostream& err);
+
+/// `capture-pdes DIR [--nodes N] [--shards S] [--jobs J]` — run the
+/// combined parallel workload (the three SPMD applications spanning every
+/// node, world = 3N ranks) on the sharded PDES machine at the reduced
+/// study scale, write one ESST capture per node
+/// (`DIR/pdes_node<N>.esst`) and their k-way merge (`DIR/pdes.esst`).
+/// The merged bytes are identical at any --shards and --jobs value —
+/// the byte-for-byte determinism gate CI's sharded-vs-serial cmp keys
+/// on. shards 0 = one per worker; jobs 0 = ESS_JOBS or the hardware
+/// thread count.
+int cmd_capture_pdes(const std::string& dir, int nodes, std::size_t shards,
+                     std::size_t jobs, std::ostream& out, std::ostream& err);
 
 /// `capture EXPERIMENT OUT.esst` — run one experiment of the reduced-scale
 /// study (core::fast_study_config) with an ESST drain capture; the producer

@@ -50,7 +50,10 @@ int usage(std::ostream& os, int code) {
         "                               into one multi-node file, ordered\n"
         "                               by (timestamp, node id); drop\n"
         "                               counts aggregate into the trailer.\n"
-        "                               Same bytes at any --jobs value\n"
+        "                               Same bytes at any --jobs value.\n"
+        "                               Each IN may be a file, a directory\n"
+        "                               (every *.esst inside, name order)\n"
+        "                               or a * / ? glob\n"
         "  capture EXPERIMENT OUT.esst  run one reduced-scale experiment\n"
         "                               (baseline|ppm|wavelet|nbody|combined)\n"
         "                               and write its ESST capture\n"
@@ -60,6 +63,13 @@ int usage(std::ostream& os, int code) {
         "                               (cluster_node*.esst, cluster.esst)\n"
         "                               in parallel; output is bit-identical\n"
         "                               to serial captures\n"
+        "  capture-pdes DIR [--nodes N] [--shards S] [--jobs N]\n"
+        "                               run the combined parallel workload\n"
+        "                               on the sharded PDES machine\n"
+        "                               (default 16 nodes), write one\n"
+        "                               capture per node plus the merged\n"
+        "                               DIR/pdes.esst — byte-identical at\n"
+        "                               any shard/job count\n"
         "  --jobs N defaults to the ESS_JOBS environment variable when set,\n"
         "  else the hardware thread count; results never depend on it\n";
   return code;
@@ -88,12 +98,20 @@ int main(int argc, char** argv) {
   ess::telemetry::EsstReader::Filter filter;
   ess::telemetry::DiffTolerance tol;
   std::size_t jobs = 0;
+  int nodes = 16;
+  std::size_t shards = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string v;
     if (arg == "--jobs") {
       if (!need_value(argc, argv, i, "--jobs", v)) return 2;
       jobs = static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+    } else if (arg == "--nodes") {
+      if (!need_value(argc, argv, i, "--nodes", v)) return 2;
+      nodes = std::atoi(v.c_str());
+    } else if (arg == "--shards") {
+      if (!need_value(argc, argv, i, "--shards", v)) return 2;
+      shards = static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
     } else if (arg == "--after") {
       if (!need_value(argc, argv, i, "--after", v)) return 2;
       filter.ts_min = static_cast<ess::SimTime>(std::atof(v.c_str()) * 1e6);
@@ -154,7 +172,7 @@ int main(int argc, char** argv) {
     if (cmd == "verify" && paths.size() == 1) {
       return cmd_verify(paths[0], std::cout, std::cerr, jobs);
     }
-    if (cmd == "merge" && paths.size() >= 3) {
+    if (cmd == "merge" && paths.size() >= 2) {
       const std::vector<std::string> inputs(paths.begin(), paths.end() - 1);
       return cmd_merge(inputs, paths.back(), jobs, std::cout, std::cerr);
     }
@@ -163,6 +181,10 @@ int main(int argc, char** argv) {
     }
     if (cmd == "capture-all" && paths.size() == 1) {
       return cmd_capture_all(paths[0], jobs, std::cout, std::cerr);
+    }
+    if (cmd == "capture-pdes" && paths.size() == 1) {
+      return cmd_capture_pdes(paths[0], nodes, shards, jobs, std::cout,
+                              std::cerr);
     }
   } catch (const std::exception& e) {
     std::cerr << "esstrace: " << e.what() << "\n";
