@@ -85,7 +85,10 @@ double timed_scan(const std::string& path, std::size_t jobs,
 
 int main() {
   using namespace ess;
-  const std::size_t records = bench::fast_mode() ? 200'000 : 1'000'000;
+  // Full mode is sized well above the scan engine's per-shard byte floor
+  // so the fan-out actually engages; the smoke capture sits below it and
+  // runs the serial path at every jobs level (equivalence still checked).
+  const std::size_t records = bench::fast_mode() ? 200'000 : 4'000'000;
   const std::string path = bench::out_dir() + "/analysis_throughput.esst";
 
   std::printf("Building %zu-record capture...\n", records);
@@ -135,7 +138,7 @@ int main() {
   ok &= bench::check("serial pass characterized every record",
                      serial.records == records,
                      bench::fmt("%.0f records", double(serial.records)));
-  if (hw >= 4) {
+  if (hw >= 4 && !bench::fast_mode()) {
     // The acceptance bar: meaningful scaling where cores exist. Threshold
     // hw/2 caps the expectation on hosts with fewer cores than jobs.
     const double want = std::min(3.0, static_cast<double>(hw) / 2);
@@ -143,8 +146,12 @@ int main() {
                        best_speedup >= want,
                        bench::fmt("%.2fx best", best_speedup));
   } else {
-    std::printf("  [--] speedup check skipped (%zu core%s)\n", hw,
-                hw == 1 ? "" : "s");
+    // The smoke capture sits below the sharder's per-shard byte floor (it
+    // runs serially at every jobs level), so only full mode on a
+    // multi-core host has a speedup to assert.
+    std::printf("  [--] speedup check skipped (%zu core%s%s)\n", hw,
+                hw == 1 ? "" : "s",
+                bench::fast_mode() ? ", smoke capture" : "");
   }
   std::filesystem::remove(path);
   return ok ? 0 : 1;

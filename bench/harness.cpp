@@ -26,6 +26,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/characterize.hpp"
@@ -170,11 +171,12 @@ struct AnalysisScanBench {
 };
 
 /// Characterization throughput over a synthetic ESST capture at several
-/// job counts. The numbers land in BENCH_results.json next to the engine
-/// figures so scan-path regressions show up in the same trajectory.
+/// job counts — the zero-copy mmap scan path end to end. The numbers land
+/// in BENCH_results.json (the "scan" section) next to the engine figures
+/// so scan-path regressions show up in the same trajectory.
 AnalysisScanBench analysis_scan_microbench() {
   AnalysisScanBench out;
-  out.records = bench::fast_mode() ? 100'000 : 500'000;
+  out.records = bench::fast_mode() ? 100'000 : 2'000'000;
   const std::string path = bench::out_dir() + "/harness_scan.esst";
   {
     trace::TraceSet ts("scan", 1);
@@ -285,6 +287,7 @@ const char* const kTargets[] = {
     "ext_region_decomposition",
     "ext_checkpoint_class", "ext_parallel_machine",
     "ext_analysis_throughput", "ext_pdes_scaling",
+    "ext_scan_scaling",
 };
 
 struct TargetOutcome {
@@ -424,7 +427,13 @@ int main(int argc, char** argv) {
     spec.experiment = e;
     specs.push_back(std::move(spec));
   }
+  const double t_experiments = now_seconds();
   const auto outcomes = exec::run_jobs(specs, jobs);
+  // Wall time of the sections that actually fan out over the pool — the
+  // honest denominator for the parallel-speedup figure. The engine/scan
+  // microbenches and the PDES matrix run serial by design and must not
+  // dilute it.
+  double fanned_wall = now_seconds() - t_experiments;
 
   std::vector<ExperimentRow> rows;
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
@@ -525,7 +534,9 @@ int main(int argc, char** argv) {
         return run_target(bin_dir, name, log_dir);
       });
     }
+    const double t_targets = now_seconds();
     targets = exec::run_ordered(std::move(tjobs), jobs);
+    fanned_wall += now_seconds() - t_targets;
     std::printf("\nBench targets (logs in %s):\n", log_dir.c_str());
     for (const auto& t : targets) {
       if (t.exit_code < 0) {
@@ -543,6 +554,12 @@ int main(int argc, char** argv) {
   double serial_estimate = 0;
   for (const auto& row : rows) serial_estimate += row.wall_seconds;
   for (const auto& t : targets) serial_estimate += t.wall_seconds;
+  // Speedup over the fanned sections only: sum of per-job walls vs the
+  // wall the pool actually took to run them. Dividing by total_wall (as an
+  // earlier version did) charged the pool for the serial-only sections and
+  // reported < 1x even when the fan-out was winning.
+  const double parallel_speedup =
+      fanned_wall > 0 ? serial_estimate / fanned_wall : 0.0;
 
   // 5. BENCH_results.json.
   {
@@ -555,12 +572,16 @@ int main(int argc, char** argv) {
     j.value(bench::fast_mode());
     j.key("jobs");
     j.value(static_cast<std::uint64_t>(jobs));
+    j.key("hardware_threads");
+    j.value(static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
     j.key("total_wall_seconds");
     j.value(total_wall);
     j.key("serial_wall_seconds_estimate");
     j.value(serial_estimate);
+    j.key("fanned_wall_seconds");
+    j.value(fanned_wall);
     j.key("parallel_speedup_estimate");
-    j.value(total_wall > 0 ? serial_estimate / total_wall : 0.0);
+    j.value(parallel_speedup);
     if (run_engine) {
       j.key("engine");
       j.open('{');
@@ -569,7 +590,7 @@ int main(int argc, char** argv) {
       j.key("schedule_cancel_events_per_sec");
       j.value(eng.cancel_events_per_sec);
       j.close('}');
-      j.key("analysis_scan");
+      j.key("scan");
       j.open('{');
       j.key("records");
       j.value(scan.records);
@@ -680,9 +701,10 @@ int main(int argc, char** argv) {
     f << '\n';
   }
 
-  std::printf("\n%s in %.2f s (serial estimate %.2f s, ~%.2fx); %s\n",
-              all_ok ? "PASS" : "FAIL", total_wall, serial_estimate,
-              total_wall > 0 ? serial_estimate / total_wall : 0.0,
-              json_path.c_str());
+  std::printf(
+      "\n%s in %.2f s (serial estimate %.2f s over %.2f s fanned, "
+      "~%.2fx); %s\n",
+      all_ok ? "PASS" : "FAIL", total_wall, serial_estimate, fanned_wall,
+      parallel_speedup, json_path.c_str());
   return all_ok ? 0 : 1;
 }

@@ -1,17 +1,21 @@
 #include "analysis/parallel.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <queue>
 #include <stdexcept>
+#include <string_view>
 #include <tuple>
 #include <utility>
 
 #include "exec/runner.hpp"
 #include "exec/thread_pool.hpp"
+#include "telemetry/esst_view.hpp"
 
 namespace ess::analysis {
 namespace {
@@ -22,28 +26,62 @@ std::unique_ptr<std::ifstream> open_binary(const std::string& path) {
   return f;
 }
 
-/// Every shard pays a fixed cost before it decodes anything: it re-opens
-/// the file and re-parses the header + chunk index. Below this many chunks
-/// that fixed cost outweighs the decode work the shard amortizes it over,
-/// and --jobs > 1 loses to the serial loop on small captures.
-constexpr std::size_t kMinChunksPerShard = 4;
+/// Map the capture, translating the mapper's open/stat failures to the
+/// same "cannot open <path>" every stream-based path in this file throws.
+telemetry::EsstView open_view(const std::string& path) {
+  try {
+    return telemetry::EsstView(path);
+  } catch (const std::runtime_error& e) {
+    if (std::string_view(e.what()).rfind("mmap_file:", 0) == 0) {
+      throw std::runtime_error("cannot open " + path);
+    }
+    throw;
+  }
+}
 
-/// Contiguous chunk ranges, a few per worker so a shard of dense chunks
-/// cannot straggle the whole scan, but never more shards than the chunk
-/// count can feed at kMinChunksPerShard each.
-std::vector<std::pair<std::size_t, std::size_t>> shard_ranges(
-    std::size_t chunks, std::size_t workers) {
-  const std::size_t by_min_size =
-      std::max<std::size_t>(1, chunks / kMinChunksPerShard);
-  const std::size_t shards =
-      std::max<std::size_t>(1, std::min({chunks, workers * 4, by_min_size}));
+/// A few shards per worker: enough slack that one slow shard cannot
+/// straggle the whole scan, few enough that per-shard overhead stays
+/// noise.
+constexpr std::size_t kShardsPerWorker = 4;
+
+/// Floor on a byte-weighted shard's size. A shard must carry enough
+/// decode+consume work to amortize folding its StreamSummary into the
+/// running result — the fold's top-K union costs up to ~entries-tracked
+/// hash probes plus a re-rank, a near-constant toll per shard — so small
+/// captures run as a single serial pass instead of shattering into shards
+/// whose merges eat the fan-out's winnings. ESS_SHARD_MIN_BYTES overrides
+/// (tests force tiny shards through the parallel path with it).
+constexpr std::uint64_t kDefaultMinShardBytes = 4 * 1024 * 1024;
+
+std::uint64_t default_min_shard_bytes() {
+  if (const char* v = std::getenv("ESS_SHARD_MIN_BYTES")) {
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    if (end != v && *end == '\0' && n > 0) return n;
+  }
+  return kDefaultMinShardBytes;
+}
+
+/// Cut [0, chunks) at the given cumulative-weight marks: shard s ends
+/// where the running total first reaches (s+1)/shards of the grand total.
+std::vector<std::pair<std::size_t, std::size_t>> cut_by_weight(
+    const std::vector<std::uint64_t>& weights, std::uint64_t total,
+    std::size_t shards) {
   std::vector<std::pair<std::size_t, std::size_t>> out;
   out.reserve(shards);
   std::size_t lo = 0;
+  std::size_t i = 0;
+  std::uint64_t acc = 0;
   for (std::size_t s = 0; s < shards; ++s) {
-    const std::size_t hi = chunks * (s + 1) / shards;
-    if (hi > lo) out.emplace_back(lo, hi);
-    lo = hi;
+    // Integer mark: the last shard's mark is exactly `total`, so the final
+    // range always ends at weights.size() — exact coverage by construction.
+    const std::uint64_t mark = total / shards * (s + 1) +
+                               (total % shards) * (s + 1) / shards;
+    while (i < weights.size() && (acc < mark || s + 1 == shards)) {
+      acc += weights[i++];
+    }
+    if (i > lo) out.emplace_back(lo, i);
+    lo = i;
   }
   return out;
 }
@@ -55,32 +93,99 @@ std::size_t resolve_jobs(std::size_t jobs) {
   return std::max<std::size_t>(exec::default_workers(), 1);
 }
 
+std::vector<std::pair<std::size_t, std::size_t>> shard_ranges(
+    std::size_t chunks, std::size_t workers) {
+  const std::size_t shards = std::max<std::size_t>(
+      1, std::min(chunks, std::max<std::size_t>(workers, 1) *
+                              kShardsPerWorker));
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  out.reserve(shards);
+  std::size_t lo = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t hi = chunks * (s + 1) / shards;
+    if (hi > lo) out.emplace_back(lo, hi);
+    lo = hi;
+  }
+  return out;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> shard_ranges_weighted(
+    const std::vector<std::uint64_t>& chunk_bytes, std::size_t workers,
+    std::uint64_t min_shard_bytes) {
+  std::uint64_t total = 0;
+  for (const auto b : chunk_bytes) total += b;
+  if (chunk_bytes.empty()) return {};
+  if (total == 0) return {{0, chunk_bytes.size()}};
+  if (min_shard_bytes == 0) min_shard_bytes = default_min_shard_bytes();
+  // Cap shards three ways: one per chunk at most, a few per worker, and
+  // nothing smaller than min_shard_bytes of decode work.
+  const std::size_t shards = std::max<std::size_t>(
+      1, std::min({chunk_bytes.size(),
+                   std::max<std::size_t>(workers, 1) * kShardsPerWorker,
+                   static_cast<std::size_t>(total / min_shard_bytes)}));
+  return cut_by_weight(chunk_bytes, total, shards);
+}
+
+namespace {
+
+/// Per-chunk byte weights for byte-balanced sharding.
+std::vector<std::uint64_t> chunk_weights(const telemetry::EsstView& view) {
+  std::vector<std::uint64_t> bytes(view.chunks().size());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = view.chunk_bytes(i);
+  }
+  return bytes;
+}
+
+}  // namespace
+
 ScanResult scan_esst(const std::string& path, std::size_t jobs,
                      const telemetry::StreamSummary::Options& opts) {
   const std::size_t workers = resolve_jobs(jobs);
   ScanResult out;
   out.summary = telemetry::StreamSummary(opts);
-  const auto file = open_binary(path);
-  telemetry::EsstReader reader(*file);
-  out.experiment = reader.meta().experiment;
-  out.salvaged = reader.salvaged() || reader.corrupt_chunks() > 0;
-  out.capture_dropped = reader.capture_dropped();
-  const std::size_t nchunks = reader.chunks().size();
 
-  // Small captures (fewer than two minimum-size shards) take the serial
-  // loop outright: this reader already parsed the index, and one shard on
-  // the pool would only add a re-open + re-parse to the same work.
-  if (workers <= 1 || out.salvaged || nchunks < 2 * kMinChunksPerShard) {
-    // The serial reference loop. Salvaged files stay here on purpose: each
-    // shard worker re-parses the file it opens, and re-parsing a file with
-    // no trusted index is itself a whole-file scan per shard.
+  const telemetry::EsstView view = open_view(path);
+  if (!view.index_ok()) {
+    // Salvage fallback: no trusted index, so the chunk list itself comes
+    // from EsstReader's forward scan — inherently serial and streaming.
+    const auto file = open_binary(path);
+    telemetry::EsstReader reader(*file);
+    out.experiment = reader.meta().experiment;
+    out.salvaged = true;
+    out.capture_dropped = reader.capture_dropped();
     std::vector<trace::Record> recs;
-    for (std::size_t i = 0; i < nchunks; ++i) {
+    for (std::size_t i = 0; i < reader.chunks().size(); ++i) {
       try {
         reader.read_chunk_into(i, recs);
         out.summary.on_records(recs.data(), recs.size());
       } catch (const std::runtime_error&) {
         out.lost_records += reader.chunks()[i].records;
+      }
+    }
+    out.summary.on_drops(out.capture_dropped + out.lost_records);
+    out.summary.on_finish(reader.duration());
+    return out;
+  }
+
+  out.experiment = view.meta().experiment;
+  out.capture_dropped = view.capture_dropped();
+  const std::size_t nchunks = view.chunks().size();
+  const auto ranges =
+      workers <= 1 ? shard_ranges(nchunks, 1)
+                   : shard_ranges_weighted(chunk_weights(view), workers);
+
+  if (workers <= 1 || ranges.size() <= 1) {
+    // The serial reference loop: same view, same decode, one thread.
+    view.advise_sequential();
+    std::vector<trace::Record> recs;
+    recs.reserve(view.meta().records_per_chunk);
+    for (std::size_t i = 0; i < nchunks; ++i) {
+      try {
+        view.decode_chunk(i, recs);
+        out.summary.on_records(recs.data(), recs.size());
+      } catch (const std::runtime_error&) {
+        out.lost_records += view.chunks()[i].records;
       }
     }
   } else {
@@ -89,47 +194,49 @@ ScanResult scan_esst(const std::string& path, std::size_t jobs,
       std::uint64_t lost = 0;
     };
     std::vector<std::function<ShardOut()>> shard_jobs;
-    for (const auto& [lo, hi] : shard_ranges(nchunks, workers)) {
+    shard_jobs.reserve(ranges.size());
+    for (const auto& [lo, hi] : ranges) {
       shard_jobs.push_back([&, lo = lo, hi = hi] {
-        // Each shard owns its stream + reader: no shared file position, no
-        // shared decode scratch, nothing to lock.
+        // Every shard decodes straight out of the one shared mapping; the
+        // only per-shard state is its summary and its record scratch,
+        // which is reused across all the shard's chunks.
         ShardOut shard{telemetry::StreamSummary(opts)};
-        const auto shard_file = open_binary(path);
-        telemetry::EsstReader shard_reader(*shard_file);
+        view.advise_chunks(lo, hi);
         std::vector<trace::Record> recs;
+        recs.reserve(view.meta().records_per_chunk);
         for (std::size_t i = lo; i < hi; ++i) {
           try {
-            shard_reader.read_chunk_into(i, recs);
+            view.decode_chunk(i, recs);
             shard.summary.on_records(recs.data(), recs.size());
           } catch (const std::runtime_error&) {
-            shard.lost += shard_reader.chunks()[i].records;
+            shard.lost += view.chunks()[i].records;
           }
         }
         return shard;
       });
     }
     // Submission order == chunk order, so each merge folds in the later
-    // time segment — the consumers' merge precondition.
-    for (auto& shard :
-         exec::run_ordered(std::move(shard_jobs), workers)) {
+    // time segment — the consumers' merge precondition. This branch only
+    // runs with workers > 1, so the pool is always real.
+    for (auto& shard : exec::run_ordered(std::move(shard_jobs), workers)) {
       out.summary.merge(shard.summary);
       out.lost_records += shard.lost;
     }
   }
   out.summary.on_drops(out.capture_dropped + out.lost_records);
-  out.summary.on_finish(reader.duration());
+  out.summary.on_finish(view.duration());
   return out;
 }
 
 telemetry::SalvageReport verify_esst(const std::string& path,
                                      std::size_t jobs) {
   const std::size_t workers = resolve_jobs(jobs);
-  const auto file = open_binary(path);
-  telemetry::EsstReader reader(*file);
-  const std::size_t nchunks = reader.chunks().size();
-  if (workers <= 1 || reader.salvaged() || nchunks < 2 * kMinChunksPerShard) {
-    // Salvaged files keep the serial pass: the damage the constructor's
+  const telemetry::EsstView view = open_view(path);
+  if (!view.index_ok()) {
+    // Salvaged files keep the streaming pass: the damage the constructor's
     // scan already discarded lives in that reader's state.
+    const auto file = open_binary(path);
+    telemetry::EsstReader reader(*file);
     return reader.verify();
   }
 
@@ -138,25 +245,29 @@ telemetry::SalvageReport verify_esst(const std::string& path,
     std::size_t chunks_lost = 0;
     std::uint64_t records_kept = 0;
     std::uint64_t records_lost = 0;
-    std::uint64_t first_bad_offset = 0;
+    std::optional<std::uint64_t> first_bad_offset;
   };
+  const std::size_t nchunks = view.chunks().size();
+  const auto ranges =
+      workers <= 1 ? shard_ranges(nchunks, 1)
+                   : shard_ranges_weighted(chunk_weights(view), workers);
   std::vector<std::function<ShardReport()>> shard_jobs;
-  for (const auto& [lo, hi] : shard_ranges(nchunks, workers)) {
+  shard_jobs.reserve(ranges.size());
+  for (const auto& [lo, hi] : ranges) {
     shard_jobs.push_back([&, lo = lo, hi = hi] {
       ShardReport shard;
-      const auto shard_file = open_binary(path);
-      telemetry::EsstReader shard_reader(*shard_file);
       std::vector<trace::Record> recs;
+      recs.reserve(view.meta().records_per_chunk);
       for (std::size_t i = lo; i < hi; ++i) {
         try {
-          shard_reader.read_chunk_into(i, recs);
+          view.decode_chunk(i, recs);
           ++shard.chunks_kept;
           shard.records_kept += recs.size();
         } catch (const std::runtime_error&) {
           ++shard.chunks_lost;
-          shard.records_lost += shard_reader.chunks()[i].records;
-          if (shard.first_bad_offset == 0) {
-            shard.first_bad_offset = shard_reader.chunks()[i].offset;
+          shard.records_lost += view.chunks()[i].records;
+          if (!shard.first_bad_offset) {
+            shard.first_bad_offset = view.chunks()[i].offset;
           }
         }
       }
@@ -166,70 +277,105 @@ telemetry::SalvageReport verify_esst(const std::string& path,
 
   telemetry::SalvageReport rep;
   rep.index_ok = true;
-  rep.capture_dropped = reader.capture_dropped();
-  for (const auto& shard : exec::run_ordered(std::move(shard_jobs), workers)) {
+  rep.capture_dropped = view.capture_dropped();
+  // workers == 1 runs the same shard jobs inline (ThreadPool(0)): the
+  // serial reference path through identical code.
+  for (const auto& shard : exec::run_ordered(
+           std::move(shard_jobs), workers <= 1 ? 0 : workers)) {
     rep.chunks_kept += shard.chunks_kept;
     rep.chunks_lost += shard.chunks_lost;
     rep.records_kept += shard.records_kept;
     rep.records_lost += shard.records_lost;
-    if (rep.first_bad_offset == 0) {
-      rep.first_bad_offset = shard.first_bad_offset;
-    }
+    // Shards come back in chunk order, so the first shard that saw damage
+    // holds the file's first damaged offset.
+    if (!rep.first_bad_offset) rep.first_bad_offset = shard.first_bad_offset;
   }
   // Same trailer cross-check as the serial pass: never understate loss.
-  if (reader.trailer_records() > rep.records_kept + rep.records_lost) {
-    rep.records_lost = reader.trailer_records() - rep.records_kept;
+  if (view.trailer_records() > rep.records_kept + rep.records_lost) {
+    rep.records_lost = view.trailer_records() - rep.records_kept;
   }
   return rep;
 }
 
 namespace {
 
-/// One input of the k-way merge: its own stream + reader, one resident
-/// decoded chunk, and at most one chunk-decode in flight on the pool (the
-/// reader is not safe for concurrent use, and one prefetch per input is
-/// all the merge loop can consume anyway).
+/// One input of the k-way merge: its decoded-chunk double buffer and at
+/// most one chunk-decode in flight on the pool. Indexed inputs decode
+/// zero-copy from a shared-nothing EsstView; inputs whose index did not
+/// survive fall back to their own streaming reader. The two decode
+/// buffers swap roles on every refill, so a long merge settles into
+/// steady-state with no per-chunk allocation at all.
 struct MergeCursor {
-  std::unique_ptr<std::ifstream> file;
+  std::unique_ptr<telemetry::EsstView> view;  // indexed fast path
+  std::unique_ptr<std::ifstream> file;        // salvage fallback...
   std::unique_ptr<telemetry::EsstReader> reader;
   std::int32_t stamp_node = 0;  // v1 inputs: header node id per record
   bool stamp = false;
   std::size_t next_chunk = 0;  // next chunk index to schedule
-  std::vector<trace::Record> recs;
+  std::vector<trace::Record> recs;  // front buffer, being drained
+  std::vector<trace::Record> back;  // back buffer, decode target
   std::size_t pos = 0;
-  std::future<std::vector<trace::Record>> pending;
+  std::future<void> pending;
   std::uint64_t lost_records = 0;  // damaged chunks skipped here
 
   const trace::Record& front() const { return recs[pos]; }
 
+  const std::vector<telemetry::ChunkInfo>& chunks() const {
+    return view ? view->chunks() : reader->chunks();
+  }
+
+  void open(const std::string& path) {
+    view = std::make_unique<telemetry::EsstView>(open_view(path));
+    if (!view->index_ok()) {
+      view.reset();
+      file = open_binary(path);
+      reader = std::make_unique<telemetry::EsstReader>(*file);
+    }
+  }
+
+  const telemetry::EsstMeta& meta() const {
+    return view ? view->meta() : reader->meta();
+  }
+  SimTime duration() const {
+    return view ? view->duration() : reader->duration();
+  }
+  std::uint64_t capture_dropped() const {
+    return view ? view->capture_dropped() : reader->capture_dropped();
+  }
+
   void schedule(exec::ThreadPool& pool) {
-    if (next_chunk >= reader->chunks().size()) return;
+    if (next_chunk >= chunks().size()) return;
     const std::size_t idx = next_chunk++;
-    auto task = std::make_shared<
-        std::packaged_task<std::vector<trace::Record>()>>([this, idx] {
-      std::vector<trace::Record> out;
+    auto task = std::make_shared<std::packaged_task<void()>>([this, idx] {
+      back.clear();
       try {
-        reader->read_chunk_into(idx, out);
+        if (view) {
+          view->decode_chunk(idx, back);
+        } else {
+          reader->read_chunk_into(idx, back);
+        }
         if (stamp) {
-          for (auto& r : out) r.node = stamp_node;
+          for (auto& r : back) r.node = stamp_node;
         }
       } catch (const std::runtime_error&) {
-        out.clear();
-        lost_records += reader->chunks()[idx].records;
+        back.clear();
+        lost_records += chunks()[idx].records;
       }
-      return out;
     });
     pending = task->get_future();
     pool.submit([task] { (*task)(); });
   }
 
   /// Make front() valid or return false at end of input. Collects the
-  /// in-flight decode and immediately schedules the next one, so with
-  /// workers the next chunk decodes while this one drains.
+  /// in-flight decode into the back buffer, swaps it to the front, and
+  /// immediately schedules the next one — so with workers the next chunk
+  /// decodes while this one drains, and both buffers keep their capacity
+  /// for the whole merge.
   bool refill(exec::ThreadPool& pool) {
     while (pos >= recs.size()) {
       if (!pending.valid()) return false;
-      recs = pending.get();
+      pending.get();
+      std::swap(recs, back);
       pos = 0;
       schedule(pool);
     }
@@ -255,19 +401,18 @@ MergeResult merge_esst(const std::vector<std::string>& inputs,
   std::vector<MergeCursor> cursors(inputs.size());
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     auto& c = cursors[i];
-    c.file = open_binary(inputs[i]);
-    c.reader = std::make_unique<telemetry::EsstReader>(*c.file);
-    c.stamp = !c.reader->meta().multi_node;
-    c.stamp_node = c.reader->meta().node_id;
-    capture_dropped += c.reader->capture_dropped();
-    result.duration = std::max(result.duration, c.reader->duration());
+    c.open(inputs[i]);
+    c.stamp = !c.meta().multi_node;
+    c.stamp_node = c.meta().node_id;
+    capture_dropped += c.capture_dropped();
+    result.duration = std::max(result.duration, c.duration());
     c.schedule(pool);
   }
 
   // The merged file: format v2 (every record carries its node), header
   // metadata from the first input, node id -1 = "the cluster" (the same
   // convention cluster::Cluster uses for its merged TraceSet).
-  telemetry::EsstMeta meta = cursors.front().reader->meta();
+  telemetry::EsstMeta meta = cursors.front().meta();
   meta.node_id = -1;
   meta.multi_node = true;
   std::ofstream out_file(out_path, std::ios::binary | std::ios::trunc);

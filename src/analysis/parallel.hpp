@@ -13,6 +13,16 @@
 // capture this study produces; when it would not, the sketch reports its
 // error bounds instead of silently diverging).
 //
+// The read substrate is one telemetry::EsstView shared by every shard: the
+// capture is memory-mapped and its header/index validated exactly once,
+// and each worker decodes its chunks straight out of the mapping into its
+// own reused scratch — no per-shard file open, no header/index re-parse,
+// no payload copy (the fixed costs that used to make --jobs > 1 slower
+// than the serial loop). Shards are sized by payload bytes, not chunk
+// count, so dense chunks cannot straggle the scan. Captures whose index
+// did not survive fall back to the streaming EsstReader's salvage path,
+// serial, bytes and behavior unchanged.
+//
 // The same worker-count convention runs through everything here and the
 // esstrace CLI: jobs == 0 means "pick for me" (ESS_JOBS or the hardware
 // thread count), jobs == 1 is the serial reference path through the same
@@ -22,6 +32,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "telemetry/consumers.hpp"
@@ -32,6 +43,26 @@ namespace ess::analysis {
 /// The CLI-facing jobs convention: 0 = ESS_JOBS or hardware concurrency,
 /// anything else verbatim. Returns at least 1.
 std::size_t resolve_jobs(std::size_t jobs);
+
+/// Contiguous chunk shard ranges by chunk *count*: a few shards per worker,
+/// never more than the chunk count. The returned ranges exactly cover
+/// [0, chunks) in order with no overlap; empty when chunks == 0. Used when
+/// per-chunk byte weights are unavailable; exposed for tests.
+std::vector<std::pair<std::size_t, std::size_t>> shard_ranges(
+    std::size_t chunks, std::size_t workers);
+
+/// Contiguous chunk shard ranges balanced by per-chunk *byte* cost (one
+/// weight per chunk, e.g. EsstView::chunk_bytes): shard boundaries land on
+/// equal cumulative-byte marks, so a run of dense chunks cannot straggle
+/// the scan the way equal-count sharding lets it. Same coverage contract
+/// as shard_ranges; shard count is capped so no shard carries less decode
+/// work than it costs to fold its summary back in (tiny captures collapse
+/// to one shard, i.e. the serial path). `min_shard_bytes` sets that
+/// per-shard byte floor; 0 means the built-in default, overridable via
+/// ESS_SHARD_MIN_BYTES. Exposed for tests.
+std::vector<std::pair<std::size_t, std::size_t>> shard_ranges_weighted(
+    const std::vector<std::uint64_t>& chunk_bytes, std::size_t workers,
+    std::uint64_t min_shard_bytes = 0);
 
 /// A characterized capture: what `esstrace stats` prints and `diff`
 /// compares, plus the loss accounting the serial path tracked alongside.

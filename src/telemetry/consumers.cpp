@@ -163,39 +163,50 @@ void TopKSectorsConsumer::merge(const TopKSectorsConsumer& other) {
   const std::uint64_t floor_mine = floor_of(*this);
   const std::uint64_t floor_other = floor_of(other);
 
-  std::unordered_map<std::uint64_t, Entry> merged;
-  merged.reserve(entries_.size() + other.entries_.size());
-  for (const auto& e : entries_) merged.emplace(e.sector, e);
+  // Union in place through the index this side already maintains: shared
+  // sectors sum into our slot, unseen ones queue for appending. One probe
+  // per entry of `other` — no scratch map of the whole union (this merge
+  // sits on the parallel scan's fold path, where it used to dominate the
+  // fan-out's winnings).
+  std::vector<char> in_other(entries_.size(), 0);
+  std::vector<Entry> incoming;
+  incoming.reserve(other.entries_.size());
   for (const auto& e : other.entries_) {
-    auto [it, inserted] = merged.try_emplace(e.sector, e);
-    if (inserted) {
-      it->second.count += floor_mine;
-      it->second.error += floor_mine;
+    const auto it = where_.find(e.sector);
+    if (it != where_.end()) {
+      entries_[it->second].count += e.count;
+      entries_[it->second].error += e.error;
+      in_other[it->second] = 1;
     } else {
-      it->second.count += e.count;
-      it->second.error += e.error;
+      incoming.push_back(e);
+      incoming.back().count += floor_mine;
+      incoming.back().error += floor_mine;
     }
   }
-  for (auto& [sector, e] : merged) {
-    if (!other.where_.contains(sector)) {
-      e.count += floor_other;
-      e.error += floor_other;
+  for (std::size_t i = 0; i < in_other.size(); ++i) {
+    if (in_other[i] == 0) {
+      entries_[i].count += floor_other;
+      entries_[i].error += floor_other;
     }
   }
+  entries_.insert(entries_.end(), incoming.begin(), incoming.end());
 
-  std::vector<Entry> all;
-  all.reserve(merged.size());
-  for (const auto& [sector, e] : merged) all.push_back(e);
-  std::sort(all.begin(), all.end(), [](const Entry& a, const Entry& b) {
+  const auto by_rank = [](const Entry& a, const Entry& b) {
     if (a.count != b.count) return a.count > b.count;
     return a.sector < b.sector;
-  });
+  };
   // Truncating to capacity keeps the Space-Saving invariant: everything
   // dropped counted at most the retained minimum, so a later arrival of an
-  // untracked sector still inherits a valid overcount bound.
-  exact_ = exact_ && other.exact_ && all.size() <= capacity_;
-  if (all.size() > capacity_) all.resize(capacity_);
-  entries_ = std::move(all);
+  // untracked sector still inherits a valid overcount bound. Select the
+  // survivors first so only they pay for the full ordering.
+  exact_ = exact_ && other.exact_ && entries_.size() <= capacity_;
+  if (entries_.size() > capacity_) {
+    std::nth_element(entries_.begin(),
+                     entries_.begin() + static_cast<std::ptrdiff_t>(capacity_),
+                     entries_.end(), by_rank);
+    entries_.resize(capacity_);
+  }
+  std::sort(entries_.begin(), entries_.end(), by_rank);
   where_.clear();
   where_.reserve(entries_.size());
   for (std::size_t i = 0; i < entries_.size(); ++i) {

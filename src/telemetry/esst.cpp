@@ -8,135 +8,16 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "telemetry/esst_codec.hpp"
+
 namespace ess::telemetry {
+
+// The wire format itself — constants, scalar packing, varint/record codec,
+// header/trailer/index parsing — lives in esst_codec.hpp, shared with the
+// zero-copy EsstView so the two read paths cannot drift.
+using namespace codec;
+
 namespace {
-
-constexpr char kMagic[8] = {'E', 'S', 'S', 'T', '0', '0', '0', '1'};
-constexpr char kIndexMagic1[8] = {'E', 'S', 'S', 'T', 'I', 'D', 'X', '1'};
-constexpr char kIndexMagic2[8] = {'E', 'S', 'S', 'T', 'I', 'D', 'X', '2'};
-constexpr std::uint32_t kChunkMagic = 0x4b4e4843;  // "CHNK"
-constexpr std::uint16_t kVersion = 1;       // single-node record stream
-constexpr std::uint16_t kVersionMulti = 2;  // adds a node delta per record
-constexpr std::size_t kHeaderBytes = 128;
-constexpr std::size_t kNameBytes = 72;
-constexpr std::size_t kChunkHeaderBytes = 8;   // magic + payload size
-constexpr std::size_t kChunkFooterBytes = 28;  // count, ts x2, sector x2, crc
-constexpr std::size_t kIndexEntryBytes = 36;
-constexpr std::size_t kTrailer1Bytes = 40;     // legacy, no drop count
-constexpr std::size_t kTrailer2Bytes = 48;     // adds capture drop count
-
-// ---- little-endian scalar packing (explicit: the header is a wire format,
-// not a memory dump, so it stays valid across compilers and platforms).
-
-void put_u16(std::uint8_t* p, std::uint16_t v) {
-  p[0] = static_cast<std::uint8_t>(v);
-  p[1] = static_cast<std::uint8_t>(v >> 8);
-}
-void put_u32(std::uint8_t* p, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-void put_u64(std::uint8_t* p, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
-}
-std::uint16_t get_u16(const std::uint8_t* p) {
-  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
-}
-std::uint32_t get_u32(const std::uint8_t* p) {
-  std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
-  return v;
-}
-std::uint64_t get_u64(const std::uint8_t* p) {
-  std::uint64_t v = 0;
-  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
-  return v;
-}
-
-// ---- varint / zigzag
-
-void put_uvarint(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  out.push_back(static_cast<std::uint8_t>(v));
-}
-
-void put_svarint(std::vector<std::uint8_t>& out, std::int64_t v) {
-  // zigzag: small magnitudes of either sign stay short.
-  put_uvarint(out, (static_cast<std::uint64_t>(v) << 1) ^
-                       static_cast<std::uint64_t>(v >> 63));
-}
-
-bool get_uvarint(const std::uint8_t* p, std::size_t len, std::size_t& pos,
-                 std::uint64_t& v) {
-  v = 0;
-  for (int shift = 0; shift < 64; shift += 7) {
-    if (pos >= len) return false;
-    const std::uint8_t b = p[pos++];
-    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-    if ((b & 0x80) == 0) return true;
-  }
-  return false;  // overlong
-}
-
-bool get_svarint(const std::uint8_t* p, std::size_t len, std::size_t& pos,
-                 std::int64_t& v) {
-  std::uint64_t u = 0;
-  if (!get_uvarint(p, len, pos, u)) return false;
-  v = static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
-  return true;
-}
-
-void encode_record(std::vector<std::uint8_t>& out, const trace::Record& r,
-                   const trace::Record& prev, bool multi_node) {
-  put_svarint(out, static_cast<std::int64_t>(r.timestamp) -
-                       static_cast<std::int64_t>(prev.timestamp));
-  put_svarint(out, static_cast<std::int64_t>(r.sector) -
-                       static_cast<std::int64_t>(prev.sector));
-  put_svarint(out, static_cast<std::int64_t>(r.size_bytes) -
-                       static_cast<std::int64_t>(prev.size_bytes));
-  put_uvarint(out, (static_cast<std::uint64_t>(r.outstanding) << 1) |
-                       (r.is_write ? 1u : 0u));
-  if (multi_node) {
-    put_svarint(out, static_cast<std::int64_t>(r.node) -
-                         static_cast<std::int64_t>(prev.node));
-  }
-}
-
-void decode_payload_into(const std::uint8_t* p, std::size_t len,
-                         std::uint32_t count, bool multi_node,
-                         std::vector<trace::Record>& out) {
-  out.clear();
-  out.reserve(count);
-  trace::Record prev;
-  std::size_t pos = 0;
-  for (std::uint32_t i = 0; i < count; ++i) {
-    std::int64_t dts = 0, dsec = 0, dsize = 0, dnode = 0;
-    std::uint64_t flags = 0;
-    if (!get_svarint(p, len, pos, dts) || !get_svarint(p, len, pos, dsec) ||
-        !get_svarint(p, len, pos, dsize) || !get_uvarint(p, len, pos, flags) ||
-        (multi_node && !get_svarint(p, len, pos, dnode))) {
-      throw std::runtime_error("esst: chunk payload underruns record count");
-    }
-    trace::Record r;
-    r.timestamp =
-        static_cast<SimTime>(static_cast<std::int64_t>(prev.timestamp) + dts);
-    r.sector = static_cast<std::uint32_t>(
-        static_cast<std::int64_t>(prev.sector) + dsec);
-    r.size_bytes = static_cast<std::uint32_t>(
-        static_cast<std::int64_t>(prev.size_bytes) + dsize);
-    r.is_write = static_cast<std::uint8_t>(flags & 1);
-    r.outstanding = static_cast<std::uint16_t>(flags >> 1);
-    r.node = static_cast<std::int32_t>(static_cast<std::int64_t>(prev.node) +
-                                       dnode);
-    out.push_back(r);
-    prev = r;
-  }
-  if (pos != len) {
-    throw std::runtime_error("esst: chunk payload has trailing bytes");
-  }
-}
 
 void write_bytes(std::ostream& os, const void* p, std::size_t n) {
   os.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
@@ -392,14 +273,8 @@ bool read_chunk_at(std::istream& is, std::uint64_t offset,
   is.read(reinterpret_cast<char*>(ftr), sizeof ftr);
   if (!is) return false;
   info.offset = offset;
-  info.records = get_u32(ftr);
-  info.ts_first = get_u64(ftr + 4);
-  info.ts_last = get_u64(ftr + 12);
-  info.sector_min = get_u32(ftr + 20);
-  info.sector_max = get_u32(ftr + 24);
-  const std::uint32_t want = get_u32(ftr + kChunkFooterBytes - 4);
-  crc_ok = crc32(ftr, kChunkFooterBytes - 4,
-                 crc32(payload.data(), payload.size())) == want;
+  const std::uint32_t want = parse_chunk_footer(ftr, info);
+  crc_ok = chunk_crc(payload.data(), payload.size(), ftr) == want;
   return true;
 }
 
@@ -422,79 +297,39 @@ EsstReader::EsstReader(std::istream& is) : is_(is) {
   is_.seekg(0);
   std::uint8_t h[kHeaderBytes];
   is_.read(reinterpret_cast<char*>(h), sizeof h);
-  if (!is_ || std::memcmp(h, kMagic, sizeof kMagic) != 0) {
-    throw std::runtime_error("esst: bad magic");
-  }
-  const std::uint16_t version = get_u16(h + 8);
-  if (version != kVersion && version != kVersionMulti) {
-    throw std::runtime_error("esst: unsupported version");
-  }
-  if (crc32(h, kHeaderBytes - 4) != get_u32(h + kHeaderBytes - 4)) {
-    throw std::runtime_error("esst: header CRC mismatch");
-  }
-  meta_.multi_node = version == kVersionMulti;
-  meta_.node_id = static_cast<std::int32_t>(get_u32(h + 12));
-  meta_.total_sectors = get_u64(h + 16);
-  meta_.sector_bytes = get_u32(h + 24);
-  meta_.records_per_chunk = get_u32(h + 28);
-  meta_.seed = get_u64(h + 32);
-  meta_.ram_bytes = get_u64(h + 40);
-  const std::uint32_t name_len =
-      std::min<std::uint32_t>(get_u32(h + 48), kNameBytes);
-  meta_.experiment.assign(reinterpret_cast<const char*>(h + 52), name_len);
+  if (!is_) throw std::runtime_error("esst: bad magic");
+  meta_ = parse_header(h);  // throws when the header is unusable
 
   // Fast path: the trailing index. The trailer comes in two sizes —
   // "ESSTIDX2" (48 bytes, carries the capture drop count) and the legacy
   // "ESSTIDX1" (40 bytes) — distinguished by the magic at the very end.
   std::size_t trailer_bytes = 0;
-  std::uint8_t t[kTrailer2Bytes] = {};
-  if (size >= kHeaderBytes + kTrailer2Bytes) {
+  TrailerInfo trailer;
+  const std::size_t tail_len =
+      static_cast<std::size_t>(std::min<std::uint64_t>(
+          size - kHeaderBytes, kTrailer2Bytes));
+  if (tail_len >= kTrailer1Bytes) {
+    std::uint8_t t[kTrailer2Bytes] = {};
     is_.clear();
-    is_.seekg(static_cast<std::streamoff>(size - kTrailer2Bytes));
-    is_.read(reinterpret_cast<char*>(t), kTrailer2Bytes);
-    if (is_ && std::memcmp(t + 40, kIndexMagic2, sizeof kIndexMagic2) == 0) {
-      trailer_bytes = kTrailer2Bytes;
-      capture_dropped_ = get_u64(t + 32);
-    }
-  }
-  if (trailer_bytes == 0 && size >= kHeaderBytes + kTrailer1Bytes) {
-    is_.clear();
-    is_.seekg(static_cast<std::streamoff>(size - kTrailer1Bytes));
-    is_.read(reinterpret_cast<char*>(t), kTrailer1Bytes);
-    if (is_ && std::memcmp(t + 32, kIndexMagic1, sizeof kIndexMagic1) == 0) {
-      trailer_bytes = kTrailer1Bytes;
-    }
+    is_.seekg(static_cast<std::streamoff>(size - tail_len));
+    is_.read(reinterpret_cast<char*>(t), static_cast<std::streamsize>(tail_len));
+    if (is_) trailer_bytes = parse_trailer(t, tail_len, trailer);
   }
   if (trailer_bytes != 0) {
-    const std::uint32_t chunk_count = get_u32(t);
-    const std::uint32_t index_crc = get_u32(t + 4);
-    const std::uint64_t dur = get_u64(t + 8);
-    const std::uint64_t total = get_u64(t + 16);
-    const std::uint64_t index_offset = get_u64(t + 24);
+    capture_dropped_ = trailer.capture_dropped;
     const std::uint64_t index_bytes =
-        std::uint64_t{chunk_count} * kIndexEntryBytes;
-    if (index_offset >= kHeaderBytes &&
-        index_offset + index_bytes + trailer_bytes == size) {
+        std::uint64_t{trailer.chunk_count} * kIndexEntryBytes;
+    if (trailer.index_offset >= kHeaderBytes &&
+        trailer.index_offset + index_bytes + trailer_bytes == size) {
       std::vector<std::uint8_t> entries(index_bytes);
       is_.clear();
-      is_.seekg(static_cast<std::streamoff>(index_offset));
+      is_.seekg(static_cast<std::streamoff>(trailer.index_offset));
       is_.read(reinterpret_cast<char*>(entries.data()),
                static_cast<std::streamsize>(entries.size()));
-      if (is_ && crc32(entries.data(), entries.size()) == index_crc) {
-        chunks_.reserve(chunk_count);
-        for (std::uint32_t i = 0; i < chunk_count; ++i) {
-          const std::uint8_t* e = entries.data() + i * kIndexEntryBytes;
-          ChunkInfo c;
-          c.offset = get_u64(e);
-          c.records = get_u32(e + 8);
-          c.ts_first = get_u64(e + 12);
-          c.ts_last = get_u64(e + 20);
-          c.sector_min = get_u32(e + 28);
-          c.sector_max = get_u32(e + 32);
-          chunks_.push_back(c);
-        }
-        duration_ = dur;
-        expected_records_ = total;
+      if (is_ && crc32(entries.data(), entries.size()) == trailer.index_crc) {
+        parse_index_entries(entries.data(), trailer.chunk_count, chunks_);
+        duration_ = trailer.duration;
+        expected_records_ = trailer.total_records;
         return;
       }
     }
@@ -538,15 +373,10 @@ void EsstReader::salvage_scan(std::uint64_t size) {
     if (!is_) break;
     ChunkInfo info;
     info.offset = off;
-    info.records = get_u32(ftr);
-    info.ts_first = get_u64(ftr + 4);
-    info.ts_last = get_u64(ftr + 12);
-    info.sector_min = get_u32(ftr + 20);
-    info.sector_max = get_u32(ftr + 24);
+    const std::uint32_t want = parse_chunk_footer(ftr, info);
     const bool crc_ok =
-        crc32(ftr, kChunkFooterBytes - 4,
-              crc32(payload_scratch_.data(), payload_scratch_.size())) ==
-        get_u32(ftr + kChunkFooterBytes - 4);
+        chunk_crc(payload_scratch_.data(), payload_scratch_.size(), ftr) ==
+        want;
     if (crc_ok) {
       chunks_.push_back(info);
       duration_ = std::max(duration_, info.ts_last);
@@ -609,7 +439,7 @@ SalvageReport EsstReader::verify() {
     } else {
       ++rep.chunks_lost;
       rep.records_lost += c.records;
-      if (rep.first_bad_offset == 0) rep.first_bad_offset = c.offset;
+      if (!rep.first_bad_offset) rep.first_bad_offset = c.offset;
     }
   }
   // Fold in damage the constructor's salvage scan already discarded (those
@@ -617,7 +447,7 @@ SalvageReport EsstReader::verify() {
   rep.chunks_lost += scan_lost_chunks_;
   rep.records_lost += scan_lost_records_;
   if (scan_first_bad_ != 0 &&
-      (rep.first_bad_offset == 0 || scan_first_bad_ < rep.first_bad_offset)) {
+      (!rep.first_bad_offset || scan_first_bad_ < *rep.first_bad_offset)) {
     rep.first_bad_offset = scan_first_bad_;
   }
   if (salvaged_) {

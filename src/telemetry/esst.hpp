@@ -42,6 +42,7 @@
 #include <iosfwd>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -175,8 +176,10 @@ struct SalvageReport {
   std::uint64_t records_lost = 0;
   bool records_lost_exact = true;
   /// File offset of the first damaged byte region (the first lost chunk,
-  /// or where a salvage scan stopped early); 0 when nothing was damaged.
-  std::uint64_t first_bad_offset = 0;
+  /// or where a salvage scan stopped early). Empty when nothing was
+  /// damaged — an optional, not a 0 sentinel, so damage at offset 0 is
+  /// representable and unambiguous.
+  std::optional<std::uint64_t> first_bad_offset;
   /// Records that overflowed the kernel ring at capture time (from the
   /// trailer): loss upstream of the file itself.
   std::uint64_t capture_dropped = 0;

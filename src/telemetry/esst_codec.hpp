@@ -1,0 +1,380 @@
+// ESST wire-format codec: the one place the byte layout lives.
+//
+// Both ESST read paths — the streaming/salvaging `EsstReader` (esst.cpp)
+// and the zero-copy `EsstView` (esst_view.cpp) — and the writer decode and
+// encode through these helpers, so the two paths cannot drift: same header
+// and trailer parsing, same varint rules, same record decode, byte for
+// byte.
+//
+// Decode is the analysis hot loop (a multi-GB capture is nothing but these
+// varints), so it comes in two forms:
+//   * the checked form: every byte access bounds-tested — used near the
+//     end of a payload and by anything handling untrusted lengths;
+//   * the fast form: caller guarantees `kMaxRecordBytes` readable bytes,
+//     so the common 1- and 2-byte varints decode with one or two loads and
+//     a single well-predicted branch, no per-byte bounds checks.
+// `decode_payload_into` runs the fast form while a worst-case record still
+// fits in the remaining payload and drops to the checked form for the
+// tail, which keeps the loop branch-light without ever reading past the
+// span.
+//
+// This header is telemetry-internal: include it from telemetry/*.cpp, not
+// from public headers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "telemetry/esst.hpp"
+#include "trace/record.hpp"
+
+namespace ess::telemetry::codec {
+
+inline constexpr char kMagic[8] = {'E', 'S', 'S', 'T', '0', '0', '0', '1'};
+inline constexpr char kIndexMagic1[8] = {'E', 'S', 'S', 'T', 'I', 'D', 'X', '1'};
+inline constexpr char kIndexMagic2[8] = {'E', 'S', 'S', 'T', 'I', 'D', 'X', '2'};
+inline constexpr std::uint32_t kChunkMagic = 0x4b4e4843;  // "CHNK"
+inline constexpr std::uint16_t kVersion = 1;       // single-node stream
+inline constexpr std::uint16_t kVersionMulti = 2;  // adds a node delta
+inline constexpr std::size_t kHeaderBytes = 128;
+inline constexpr std::size_t kNameBytes = 72;
+inline constexpr std::size_t kChunkHeaderBytes = 8;   // magic + payload size
+inline constexpr std::size_t kChunkFooterBytes = 28;  // count, ts x2,
+                                                      // sector x2, crc
+inline constexpr std::size_t kIndexEntryBytes = 36;
+inline constexpr std::size_t kTrailer1Bytes = 40;  // legacy, no drop count
+inline constexpr std::size_t kTrailer2Bytes = 48;  // adds capture drops
+
+/// Longest single varint (64 bits in 7-bit groups).
+inline constexpr std::size_t kMaxVarintBytes = 10;
+/// Worst-case encoded record: ts/sector/size/node svarints + flags uvarint.
+inline constexpr std::size_t kMaxRecordBytes = 5 * kMaxVarintBytes;
+
+// ---- little-endian scalar packing (explicit: the header is a wire format,
+// not a memory dump, so it stays valid across compilers and platforms).
+
+inline void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+inline void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+inline void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+inline std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+inline std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+inline std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+// ---- varint / zigzag ------------------------------------------------------
+
+inline void put_uvarint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline void put_svarint(std::vector<std::uint8_t>& out, std::int64_t v) {
+  // zigzag: small magnitudes of either sign stay short.
+  put_uvarint(out, (static_cast<std::uint64_t>(v) << 1) ^
+                       static_cast<std::uint64_t>(v >> 63));
+}
+
+inline std::int64_t unzigzag(std::uint64_t u) {
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+/// Checked decode: safe at any distance from the end of the span.
+inline bool get_uvarint(const std::uint8_t* p, std::size_t len,
+                        std::size_t& pos, std::uint64_t& v) {
+  v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos >= len) return false;
+    const std::uint8_t b = p[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return true;
+  }
+  return false;  // overlong
+}
+
+inline bool get_svarint(const std::uint8_t* p, std::size_t len,
+                        std::size_t& pos, std::int64_t& v) {
+  std::uint64_t u = 0;
+  if (!get_uvarint(p, len, pos, u)) return false;
+  v = unzigzag(u);
+  return true;
+}
+
+/// Fast decode: caller guarantees kMaxVarintBytes readable at `p`. The
+/// 1-byte case (almost every delta after zigzag) is one load and one
+/// predictable branch; 2 bytes costs one more of each; longer encodings
+/// take the unrolled continuation loop. Returns the byte after the varint,
+/// or nullptr for an overlong (>10 byte) encoding.
+inline const std::uint8_t* get_uvarint_fast(const std::uint8_t* p,
+                                            std::uint64_t& v) {
+  std::uint64_t b = p[0];
+  if ((b & 0x80) == 0) {
+    v = b;
+    return p + 1;
+  }
+  std::uint64_t r = b & 0x7f;
+  b = p[1];
+  r |= (b & 0x7f) << 7;
+  if ((b & 0x80) == 0) {
+    v = r;
+    return p + 2;
+  }
+  p += 2;
+  for (int shift = 14; shift < 70; shift += 7) {
+    b = *p++;
+    r |= (b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      v = r;
+      return p;
+    }
+  }
+  return nullptr;  // overlong
+}
+
+inline const std::uint8_t* get_svarint_fast(const std::uint8_t* p,
+                                            std::int64_t& v) {
+  std::uint64_t u = 0;
+  p = get_uvarint_fast(p, u);
+  if (p != nullptr) v = unzigzag(u);
+  return p;
+}
+
+// ---- record encode / decode ----------------------------------------------
+
+inline void encode_record(std::vector<std::uint8_t>& out,
+                          const trace::Record& r, const trace::Record& prev,
+                          bool multi_node) {
+  put_svarint(out, static_cast<std::int64_t>(r.timestamp) -
+                       static_cast<std::int64_t>(prev.timestamp));
+  put_svarint(out, static_cast<std::int64_t>(r.sector) -
+                       static_cast<std::int64_t>(prev.sector));
+  put_svarint(out, static_cast<std::int64_t>(r.size_bytes) -
+                       static_cast<std::int64_t>(prev.size_bytes));
+  put_uvarint(out, (static_cast<std::uint64_t>(r.outstanding) << 1) |
+                       (r.is_write ? 1u : 0u));
+  if (multi_node) {
+    put_svarint(out, static_cast<std::int64_t>(r.node) -
+                         static_cast<std::int64_t>(prev.node));
+  }
+}
+
+namespace detail {
+
+[[noreturn]] inline void throw_underrun() {
+  throw std::runtime_error("esst: chunk payload underruns record count");
+}
+
+inline trace::Record apply_deltas(const trace::Record& prev, std::int64_t dts,
+                                  std::int64_t dsec, std::int64_t dsize,
+                                  std::uint64_t flags, std::int64_t dnode) {
+  trace::Record r;
+  r.timestamp =
+      static_cast<SimTime>(static_cast<std::int64_t>(prev.timestamp) + dts);
+  r.sector =
+      static_cast<std::uint32_t>(static_cast<std::int64_t>(prev.sector) + dsec);
+  r.size_bytes = static_cast<std::uint32_t>(
+      static_cast<std::int64_t>(prev.size_bytes) + dsize);
+  r.is_write = static_cast<std::uint8_t>(flags & 1);
+  r.outstanding = static_cast<std::uint16_t>(flags >> 1);
+  r.node =
+      static_cast<std::int32_t>(static_cast<std::int64_t>(prev.node) + dnode);
+  return r;
+}
+
+/// The hot loop, monomorphized per format version so the per-record
+/// multi-node branch vanishes entirely.
+template <bool MultiNode>
+inline void decode_payload_impl(const std::uint8_t* p, std::size_t len,
+                                std::uint32_t count,
+                                std::vector<trace::Record>& out) {
+  out.clear();
+  out.reserve(count);
+  trace::Record prev;
+  constexpr std::size_t per_record_max =
+      kMaxVarintBytes * (MultiNode ? 5 : 4);
+  std::size_t pos = 0;
+  std::uint32_t i = 0;
+  // Fast path: while a worst-case record fits in the remaining span, every
+  // varint decodes without per-byte bounds checks.
+  while (i < count && len - pos >= per_record_max) {
+    const std::uint8_t* q = p + pos;
+    std::int64_t dts = 0, dsec = 0, dsize = 0, dnode = 0;
+    std::uint64_t flags = 0;
+    if ((q = get_svarint_fast(q, dts)) == nullptr ||
+        (q = get_svarint_fast(q, dsec)) == nullptr ||
+        (q = get_svarint_fast(q, dsize)) == nullptr ||
+        (q = get_uvarint_fast(q, flags)) == nullptr) {
+      throw_underrun();
+    }
+    if constexpr (MultiNode) {
+      if ((q = get_svarint_fast(q, dnode)) == nullptr) throw_underrun();
+    }
+    pos = static_cast<std::size_t>(q - p);
+    prev = apply_deltas(prev, dts, dsec, dsize, flags, dnode);
+    out.push_back(prev);
+    ++i;
+  }
+  // Checked tail: the last few records, where a worst-case encoding could
+  // run past the span.
+  for (; i < count; ++i) {
+    std::int64_t dts = 0, dsec = 0, dsize = 0, dnode = 0;
+    std::uint64_t flags = 0;
+    if (!get_svarint(p, len, pos, dts) || !get_svarint(p, len, pos, dsec) ||
+        !get_svarint(p, len, pos, dsize) ||
+        !get_uvarint(p, len, pos, flags) ||
+        (MultiNode && !get_svarint(p, len, pos, dnode))) {
+      throw_underrun();
+    }
+    prev = apply_deltas(prev, dts, dsec, dsize, flags, dnode);
+    out.push_back(prev);
+  }
+  if (pos != len) {
+    throw std::runtime_error("esst: chunk payload has trailing bytes");
+  }
+}
+
+}  // namespace detail
+
+/// Decode a whole chunk payload into `out` (cleared first, capacity
+/// reused). Throws std::runtime_error when the payload underruns the
+/// record count or carries trailing bytes.
+inline void decode_payload_into(const std::uint8_t* p, std::size_t len,
+                                std::uint32_t count, bool multi_node,
+                                std::vector<trace::Record>& out) {
+  if (multi_node) {
+    detail::decode_payload_impl<true>(p, len, count, out);
+  } else {
+    detail::decode_payload_impl<false>(p, len, count, out);
+  }
+}
+
+// ---- header / index / trailer ---------------------------------------------
+
+/// Parse and validate the 128-byte fixed header (magic, version, CRC).
+/// Throws std::runtime_error when the header is unusable — the same
+/// contract as the EsstReader constructor.
+inline EsstMeta parse_header(const std::uint8_t* h) {
+  if (std::memcmp(h, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("esst: bad magic");
+  }
+  const std::uint16_t version = get_u16(h + 8);
+  if (version != kVersion && version != kVersionMulti) {
+    throw std::runtime_error("esst: unsupported version");
+  }
+  if (crc32(h, kHeaderBytes - 4) != get_u32(h + kHeaderBytes - 4)) {
+    throw std::runtime_error("esst: header CRC mismatch");
+  }
+  EsstMeta meta;
+  meta.multi_node = version == kVersionMulti;
+  meta.node_id = static_cast<std::int32_t>(get_u32(h + 12));
+  meta.total_sectors = get_u64(h + 16);
+  meta.sector_bytes = get_u32(h + 24);
+  meta.records_per_chunk = get_u32(h + 28);
+  meta.seed = get_u64(h + 32);
+  meta.ram_bytes = get_u64(h + 40);
+  const std::uint32_t name_len =
+      std::min<std::uint32_t>(get_u32(h + 48), kNameBytes);
+  meta.experiment.assign(reinterpret_cast<const char*>(h + 52), name_len);
+  return meta;
+}
+
+struct TrailerInfo {
+  std::uint32_t chunk_count = 0;
+  std::uint32_t index_crc = 0;
+  std::uint64_t duration = 0;
+  std::uint64_t total_records = 0;
+  std::uint64_t index_offset = 0;
+  std::uint64_t capture_dropped = 0;  // 0 for legacy "ESSTIDX1" trailers
+};
+
+/// Look for a trailer at the end of `tail` (the file's last `tail_len`
+/// bytes). Tries the 48-byte "ESSTIDX2" layout first, then the legacy
+/// 40-byte "ESSTIDX1". Returns the trailer's byte size, or 0 when neither
+/// magic matches (the caller falls back to a salvage scan).
+inline std::size_t parse_trailer(const std::uint8_t* tail,
+                                 std::size_t tail_len, TrailerInfo& out) {
+  const std::uint8_t* t = nullptr;
+  std::size_t trailer_bytes = 0;
+  if (tail_len >= kTrailer2Bytes &&
+      std::memcmp(tail + tail_len - kTrailer2Bytes + 40, kIndexMagic2,
+                  sizeof kIndexMagic2) == 0) {
+    t = tail + tail_len - kTrailer2Bytes;
+    trailer_bytes = kTrailer2Bytes;
+    out.capture_dropped = get_u64(t + 32);
+  } else if (tail_len >= kTrailer1Bytes &&
+             std::memcmp(tail + tail_len - kTrailer1Bytes + 32, kIndexMagic1,
+                         sizeof kIndexMagic1) == 0) {
+    t = tail + tail_len - kTrailer1Bytes;
+    trailer_bytes = kTrailer1Bytes;
+    out.capture_dropped = 0;
+  } else {
+    return 0;
+  }
+  out.chunk_count = get_u32(t);
+  out.index_crc = get_u32(t + 4);
+  out.duration = get_u64(t + 8);
+  out.total_records = get_u64(t + 16);
+  out.index_offset = get_u64(t + 24);
+  return trailer_bytes;
+}
+
+/// Decode `chunk_count` fixed-size index entries into ChunkInfo rows.
+/// The caller has already CRC-checked the entry bytes.
+inline void parse_index_entries(const std::uint8_t* entries,
+                                std::uint32_t chunk_count,
+                                std::vector<ChunkInfo>& out) {
+  out.clear();
+  out.reserve(chunk_count);
+  for (std::uint32_t i = 0; i < chunk_count; ++i) {
+    const std::uint8_t* e = entries + i * kIndexEntryBytes;
+    ChunkInfo c;
+    c.offset = get_u64(e);
+    c.records = get_u32(e + 8);
+    c.ts_first = get_u64(e + 12);
+    c.ts_last = get_u64(e + 20);
+    c.sector_min = get_u32(e + 28);
+    c.sector_max = get_u32(e + 32);
+    out.push_back(c);
+  }
+}
+
+/// Parse a chunk's 28-byte footer into `info` (offset left untouched) and
+/// return the footer's stored CRC.
+inline std::uint32_t parse_chunk_footer(const std::uint8_t* ftr,
+                                        ChunkInfo& info) {
+  info.records = get_u32(ftr);
+  info.ts_first = get_u64(ftr + 4);
+  info.ts_last = get_u64(ftr + 12);
+  info.sector_min = get_u32(ftr + 20);
+  info.sector_max = get_u32(ftr + 24);
+  return get_u32(ftr + kChunkFooterBytes - 4);
+}
+
+/// The chunk CRC rule: payload first, then the footer summary chained on.
+inline std::uint32_t chunk_crc(const std::uint8_t* payload,
+                               std::size_t payload_len,
+                               const std::uint8_t* ftr) {
+  return crc32(ftr, kChunkFooterBytes - 4, crc32(payload, payload_len));
+}
+
+}  // namespace ess::telemetry::codec

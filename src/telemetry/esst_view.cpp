@@ -1,0 +1,106 @@
+#include "telemetry/esst_view.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "telemetry/esst_codec.hpp"
+
+namespace ess::telemetry {
+
+using namespace codec;
+
+EsstView::EsstView(const std::string& path) : map_(path) {
+  const std::uint64_t size = map_.size();
+  if (size < kHeaderBytes) throw std::runtime_error("esst: file too short");
+  meta_ = parse_header(map_.data());  // throws when the header is unusable
+
+  // Trailer + index, validated exactly as EsstReader does; any failure
+  // leaves index_ok_ false instead of salvaging.
+  const std::size_t tail_len = static_cast<std::size_t>(
+      std::min<std::uint64_t>(size - kHeaderBytes, kTrailer2Bytes));
+  TrailerInfo trailer;
+  const std::size_t trailer_bytes =
+      parse_trailer(map_.data() + (size - tail_len), tail_len, trailer);
+  if (trailer_bytes == 0) return;
+  capture_dropped_ = trailer.capture_dropped;
+  const std::uint64_t index_bytes =
+      std::uint64_t{trailer.chunk_count} * kIndexEntryBytes;
+  if (trailer.index_offset < kHeaderBytes ||
+      trailer.index_offset + index_bytes + trailer_bytes != size) {
+    return;
+  }
+  const std::uint8_t* entries = map_.data() + trailer.index_offset;
+  if (crc32(entries, static_cast<std::size_t>(index_bytes)) !=
+      trailer.index_crc) {
+    return;
+  }
+  parse_index_entries(entries, trailer.chunk_count, chunks_);
+  duration_ = trailer.duration;
+  trailer_records_ = trailer.total_records;
+  index_ok_ = true;
+}
+
+std::uint64_t EsstView::total_records() const {
+  std::uint64_t n = 0;
+  for (const auto& c : chunks_) n += c.records;
+  return n;
+}
+
+EsstView::ChunkSpan EsstView::chunk_span(std::size_t idx) const {
+  const ChunkInfo& c = chunks_.at(idx);
+  const std::uint64_t size = map_.size();
+  if (c.offset + kChunkHeaderBytes + kChunkFooterBytes > size ||
+      get_u32(map_.data() + c.offset) != kChunkMagic) {
+    throw std::runtime_error("esst: chunk unreadable");
+  }
+  const std::uint32_t payload_bytes = get_u32(map_.data() + c.offset + 4);
+  if (c.offset + kChunkHeaderBytes + payload_bytes + kChunkFooterBytes >
+      size) {
+    throw std::runtime_error("esst: chunk unreadable");
+  }
+  ChunkSpan s;
+  s.payload = map_.data() + c.offset + kChunkHeaderBytes;
+  s.payload_len = payload_bytes;
+  s.footer = s.payload + payload_bytes;
+  return s;
+}
+
+std::uint64_t EsstView::chunk_bytes(std::size_t idx) const {
+  const ChunkInfo& c = chunks_.at(idx);
+  const std::uint64_t size = map_.size();
+  if (c.offset + kChunkHeaderBytes + kChunkFooterBytes <= size &&
+      get_u32(map_.data() + c.offset) == kChunkMagic) {
+    const std::uint32_t payload_bytes = get_u32(map_.data() + c.offset + 4);
+    if (c.offset + kChunkHeaderBytes + payload_bytes + kChunkFooterBytes <=
+        size) {
+      return kChunkHeaderBytes + payload_bytes + kChunkFooterBytes;
+    }
+  }
+  return kChunkHeaderBytes + kChunkFooterBytes;
+}
+
+void EsstView::decode_chunk(std::size_t idx,
+                            std::vector<trace::Record>& out) const {
+  const ChunkSpan s = chunk_span(idx);
+  ChunkInfo info;
+  const std::uint32_t want = parse_chunk_footer(s.footer, info);
+  if (chunk_crc(s.payload, s.payload_len, s.footer) != want) {
+    throw std::runtime_error("esst: chunk CRC mismatch");
+  }
+  decode_payload_into(s.payload, s.payload_len, info.records,
+                      meta_.multi_node, out);
+}
+
+void EsstView::advise_chunks(std::size_t first, std::size_t last) const {
+  if (first >= last || first >= chunks_.size()) return;
+  last = std::min(last, chunks_.size());
+  const std::uint64_t lo = chunks_[first].offset;
+  const std::uint64_t hi =
+      chunks_[last - 1].offset + chunk_bytes(last - 1);
+  if (hi > lo) {
+    map_.advise_willneed(static_cast<std::size_t>(lo),
+                         static_cast<std::size_t>(hi - lo));
+  }
+}
+
+}  // namespace ess::telemetry

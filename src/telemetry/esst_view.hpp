@@ -1,0 +1,106 @@
+// EsstView: the zero-copy read path for ESST captures.
+//
+// One construction maps the file (util::MmapFile), validates the header,
+// and loads + CRC-checks the trailing chunk index — once. After that every
+// chunk is a byte span into the mapping: no stream, no seek, no shared
+// file position, no per-read copy of the payload. decode_chunk() is const
+// and touches no mutable state, so any number of threads can decode
+// disjoint (or even the same) chunks concurrently from one shared view —
+// the property the parallel scan engine in analysis/parallel.cpp is built
+// on. The old design paid a file open plus a full header/index re-parse
+// per shard; a shared EsstView pays it exactly once per file.
+//
+// Division of labor with EsstReader (esst.cpp):
+//   * EsstView — the fast path. Indexed, intact-trailer files only; when
+//     the index is missing or fails its CRC, index_ok() is false and the
+//     view holds no chunks. It never salvages.
+//   * EsstReader — the streaming/salvage path. Forward-scans trailerless
+//     or damaged files, works on arbitrary istreams, and stays the
+//     fallback the analysis layer drops to when index_ok() is false.
+// Both decode through telemetry/esst_codec.hpp, so the record bytes they
+// produce are identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/esst.hpp"
+#include "util/mmap_file.hpp"
+
+namespace ess::telemetry {
+
+class EsstView {
+ public:
+  /// Map `path` and parse header + trailer index. Throws std::runtime_error
+  /// when the file cannot be opened or the header itself is unusable (too
+  /// short, bad magic, unsupported version, header CRC mismatch) — the same
+  /// contract as the EsstReader constructor. A missing/corrupt *index* is
+  /// not fatal: index_ok() turns false and chunks() is empty, and the
+  /// caller falls back to EsstReader's salvage scan.
+  explicit EsstView(const std::string& path);
+
+  EsstView(EsstView&&) = default;
+  EsstView& operator=(EsstView&&) = default;
+  EsstView(const EsstView&) = delete;
+  EsstView& operator=(const EsstView&) = delete;
+
+  const EsstMeta& meta() const { return meta_; }
+
+  /// Trailing index present and CRC-clean. False means this view cannot
+  /// serve the file (no salvage here) — use EsstReader.
+  bool index_ok() const { return index_ok_; }
+
+  const std::vector<ChunkInfo>& chunks() const { return chunks_; }
+  SimTime duration() const { return duration_; }
+  /// The trailer's record-count claim (see EsstReader::trailer_records).
+  std::uint64_t trailer_records() const { return trailer_records_; }
+  /// Sum of the per-chunk index counts.
+  std::uint64_t total_records() const;
+  /// Capture-time ring overflow recorded in the trailer.
+  std::uint64_t capture_dropped() const { return capture_dropped_; }
+
+  std::uint64_t file_size() const { return map_.size(); }
+  /// True when backed by a real mapping (false: heap-buffer fallback).
+  bool mapped() const { return map_.mapped(); }
+
+  /// A chunk's payload bytes as a span into the mapping. Validates the
+  /// framing (magic, in-bounds payload); throws "esst: chunk unreadable"
+  /// when the bytes at the indexed offset are not a complete chunk.
+  struct ChunkSpan {
+    const std::uint8_t* payload = nullptr;
+    std::size_t payload_len = 0;
+    const std::uint8_t* footer = nullptr;  // kChunkFooterBytes long
+  };
+  ChunkSpan chunk_span(std::size_t idx) const;
+
+  /// On-disk cost of chunk `idx` (framing + payload), the weight the
+  /// byte-balanced sharding uses. Returns the minimum frame size when the
+  /// framing at that offset is damaged — a chunk that cannot be decoded
+  /// costs a shard almost nothing.
+  std::uint64_t chunk_bytes(std::size_t idx) const;
+
+  /// Decode chunk `idx` into `out` (cleared first, capacity reused).
+  /// CRC-checks payload + footer, then decodes the footer's record count.
+  /// Throws "esst: chunk unreadable" / "esst: chunk CRC mismatch" / decode
+  /// errors — exactly the EsstReader::read_chunk_into contract. Const and
+  /// thread-safe: all scratch is caller-owned.
+  void decode_chunk(std::size_t idx, std::vector<trace::Record>& out) const;
+
+  /// Kernel readahead hints, forwarded to the mapping (no-ops on the
+  /// heap-buffer fallback).
+  void advise_sequential() const { map_.advise_sequential(); }
+  /// MADV_WILLNEED over the byte range of chunks [first, last).
+  void advise_chunks(std::size_t first, std::size_t last) const;
+
+ private:
+  util::MmapFile map_;
+  EsstMeta meta_;
+  std::vector<ChunkInfo> chunks_;
+  bool index_ok_ = false;
+  SimTime duration_ = 0;
+  std::uint64_t trailer_records_ = 0;
+  std::uint64_t capture_dropped_ = 0;
+};
+
+}  // namespace ess::telemetry

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -20,6 +21,15 @@
 
 namespace ess::analysis {
 namespace {
+
+// The captures these tests write are a few hundred KB — under the
+// production per-shard byte floor, which would collapse them to one
+// (serial) shard and make every identity property vacuous. Force tiny
+// shards so the fan-out path really runs.
+const int kForceSharding = [] {
+  ::setenv("ESS_SHARD_MIN_BYTES", "1024", 1);
+  return 0;
+}();
 
 std::string tmp_path(const std::string& name) {
   return (std::filesystem::temp_directory_path() /
@@ -294,6 +304,105 @@ TEST(EsstV2, MultiNodeRoundTripPreservesPerRecordNodes) {
   EXPECT_TRUE(reader.meta().multi_node);
   const auto back = reader.read_all();
   EXPECT_EQ(back.records(), ts.records());  // node ids included
+  std::filesystem::remove(path);
+}
+
+// ---- sharding: ranges must exactly tile [0, nchunks), never overlap ----
+
+void expect_exact_cover(
+    const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+    std::size_t chunks) {
+  std::size_t expect_lo = 0;
+  for (const auto& [lo, hi] : ranges) {
+    EXPECT_EQ(lo, expect_lo);  // contiguous: no gap, no overlap
+    EXPECT_LT(lo, hi);         // never an empty shard
+    expect_lo = hi;
+  }
+  EXPECT_EQ(expect_lo, chunks);
+}
+
+TEST(ShardRanges, EdgeCasesCoverExactly) {
+  EXPECT_TRUE(shard_ranges(0, 8).empty());
+  for (const std::size_t workers : {0u, 1u, 3u, 8u, 1'000u}) {
+    for (const std::size_t chunks : {1u, 2u, 3u, 7u, 8u, 64u, 65u, 1'000u}) {
+      expect_exact_cover(shard_ranges(chunks, workers), chunks);
+    }
+  }
+  // chunks < workers: one chunk can never split.
+  EXPECT_EQ(shard_ranges(1, 64).size(), 1u);
+  // chunks not divisible by shards still tile exactly (checked above) and
+  // no shard count ever exceeds the chunk count.
+  for (const auto& r : {shard_ranges(7, 2), shard_ranges(65, 8)}) {
+    EXPECT_LE(r.size(), 65u);
+  }
+}
+
+TEST(ShardRangesWeighted, CoversExactlyAndBalancesBytes) {
+  // Pin the per-shard byte floor so the expectations below cannot drift
+  // with the production default (or an inherited ESS_SHARD_MIN_BYTES).
+  const std::uint64_t mb = 1024 * 1024;
+  const std::uint64_t floor_bytes = 4 * mb;
+
+  EXPECT_TRUE(shard_ranges_weighted({}, 8, floor_bytes).empty());
+
+  // All-zero weights: one shard holding everything, still exact cover.
+  expect_exact_cover(shard_ranges_weighted({0, 0, 0}, 4, floor_bytes), 3);
+  EXPECT_EQ(shard_ranges_weighted({0, 0, 0}, 4, floor_bytes).size(), 1u);
+
+  // A tiny capture (way under the min shard size) never splits.
+  EXPECT_EQ(
+      shard_ranges_weighted({100, 100, 100, 100}, 8, floor_bytes).size(),
+      1u);
+
+  // Big skewed weights: every range covered, and the one giant chunk gets
+  // a shard to itself instead of dragging neighbors with it.
+  std::vector<std::uint64_t> skew(16, mb);
+  skew[5] = 64 * mb;
+  const auto ranges = shard_ranges_weighted(skew, 4, floor_bytes);
+  expect_exact_cover(ranges, skew.size());
+  ASSERT_GT(ranges.size(), 1u);
+  for (const auto& [lo, hi] : ranges) {
+    if (lo <= 5 && 5 < hi) {
+      EXPECT_EQ(hi - lo, 1u);  // the giant is alone
+    }
+  }
+
+  // Uniform weights with zero-byte stragglers at the tail: the trailing
+  // zeros must still land in the last shard.
+  std::vector<std::uint64_t> tail(12, mb);
+  tail.push_back(0);
+  tail.push_back(0);
+  expect_exact_cover(shard_ranges_weighted(tail, 3, floor_bytes),
+                     tail.size());
+}
+
+TEST(ParallelVerify, FirstBadOffsetIsUnsetOnCleanAndExactOnDamage) {
+  const std::string path = tmp_path("first_bad.esst");
+  write_chunked(sample_trace("fb", 0, 8'192, 9), path);
+
+  // Clean file: no damage offset at all — an empty optional, not offset 0.
+  for (const std::size_t jobs : {1u, 4u}) {
+    const auto rep = verify_esst(path, jobs);
+    EXPECT_FALSE(rep.first_bad_offset.has_value());
+    EXPECT_TRUE(rep.clean());
+  }
+
+  // Damage the FIRST chunk — its offset (the fixed header size) used to be
+  // conflated with the old "0 = no damage" sentinel's neighborhood; the
+  // optional reports it exactly.
+  std::ifstream probe(path, std::ios::binary);
+  telemetry::EsstReader reader(probe);
+  const auto first_chunk = reader.chunks().front().offset;
+  auto bytes = slurp(path);
+  bytes[first_chunk + 10] ^= 0x11;
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << bytes;
+
+  for (const std::size_t jobs : {1u, 4u}) {
+    const auto rep = verify_esst(path, jobs);
+    ASSERT_TRUE(rep.first_bad_offset.has_value());
+    EXPECT_EQ(*rep.first_bad_offset, first_chunk);
+    EXPECT_FALSE(rep.clean());
+  }
   std::filesystem::remove(path);
 }
 

@@ -429,7 +429,7 @@ TEST(EsstHardening, VerifyCleanOnHealthyFile) {
   EXPECT_EQ(rep.records_kept, 50u);
   EXPECT_EQ(rep.records_lost, 0u);
   EXPECT_TRUE(rep.records_lost_exact);
-  EXPECT_EQ(rep.first_bad_offset, 0u);
+  EXPECT_FALSE(rep.first_bad_offset.has_value());
 }
 
 TEST(EsstHardening, VerifyCountsChunkLossExactlyWhenIndexSurvives) {

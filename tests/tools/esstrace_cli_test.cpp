@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -36,7 +38,11 @@ trace::TraceSet sample(std::size_t n = 120) {
 }
 
 std::string tmp_path(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  // Per-process names: `ctest -j` runs each test of this fixture as its own
+  // process, and concurrent SetUp/TearDown must not share files.
+  static const std::string tag =
+      "ess_cli_" + std::to_string(::getpid()) + "_";
+  return ::testing::TempDir() + "/" + tag + name;
 }
 
 std::string slurp(const std::string& path) {
@@ -379,6 +385,40 @@ TEST_F(EsstraceCli, MergeRejectsNonEsstInput) {
                       /*jobs=*/1, out, err),
             2);
   EXPECT_NE(err.str().find("not an ESST file"), std::string::npos);
+}
+
+// ---- option parsing: --jobs/--shards values ----
+
+TEST(ParseJobs, AcceptsPlainDecimalCounts) {
+  std::size_t jobs = 99;
+  EXPECT_TRUE(parse_jobs("0", jobs));  // 0 = "pick for me"
+  EXPECT_EQ(jobs, 0u);
+  EXPECT_TRUE(parse_jobs("1", jobs));
+  EXPECT_EQ(jobs, 1u);
+  EXPECT_TRUE(parse_jobs("64", jobs));
+  EXPECT_EQ(jobs, 64u);
+  EXPECT_TRUE(parse_jobs("007", jobs));  // leading zeros are still decimal
+  EXPECT_EQ(jobs, 7u);
+  EXPECT_TRUE(parse_jobs(std::to_string(kMaxJobs), jobs));
+  EXPECT_EQ(jobs, kMaxJobs);
+}
+
+TEST(ParseJobs, RejectsMalformedValuesAndLeavesJobsUntouched) {
+  std::size_t jobs = 42;
+  for (const char* bad : {"", "-1", "-0", "+4", "4.5", "4x", "x4", " 8",
+                          "8 ", "0b101", "0x10", "eight", "1e3"}) {
+    EXPECT_FALSE(parse_jobs(bad, jobs)) << "'" << bad << "'";
+    EXPECT_EQ(jobs, 42u) << "'" << bad << "'";
+  }
+}
+
+TEST(ParseJobs, RejectsAbsurdCounts) {
+  std::size_t jobs = 42;
+  EXPECT_FALSE(parse_jobs(std::to_string(kMaxJobs + 1), jobs));
+  EXPECT_FALSE(parse_jobs("1000000", jobs));
+  EXPECT_FALSE(parse_jobs("18446744073709551616", jobs));  // > 2^64
+  EXPECT_FALSE(parse_jobs("99999999999999999999999999", jobs));
+  EXPECT_EQ(jobs, 42u);
 }
 
 // ---- capture: golden-trace generation for the regression gate ----

@@ -91,6 +91,19 @@ void render_result(const telemetry::StreamSummary::Result& r,
 
 }  // namespace
 
+bool parse_jobs(const std::string& text, std::size_t& jobs) {
+  // Digits only: no sign, no whitespace, no trailing junk — "-1", "4x",
+  // " 8" and "" all fail the same way instead of whatever stoul salvages.
+  if (text.empty() || text.size() > 19) return false;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+  }
+  const unsigned long long v = std::stoull(text);
+  if (v > kMaxJobs) return false;  // absurd counts are typos, not requests
+  jobs = static_cast<std::size_t>(v);
+  return true;
+}
+
 TraceFormat sniff_format(const std::string& path) {
   std::ifstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("esstrace: cannot open " + path);
@@ -355,9 +368,9 @@ int cmd_verify(const std::string& path, std::ostream& out, std::ostream& err,
         static_cast<unsigned long long>(rep.records_lost));
     put(out, "capture drops   %llu record(s) lost upstream of the file\n",
         static_cast<unsigned long long>(rep.capture_dropped));
-    if (rep.first_bad_offset > 0) {
+    if (rep.first_bad_offset) {
       put(out, "first damage    byte offset %llu\n",
-          static_cast<unsigned long long>(rep.first_bad_offset));
+          static_cast<unsigned long long>(*rep.first_bad_offset));
     }
     if (rep.clean()) {
       out << "verdict         CLEAN\n";

@@ -18,6 +18,17 @@ namespace ess::esstrace {
 
 enum class TraceFormat { kEsst, kLegacyBinary, kCsv };
 
+/// Upper bound a `--jobs`/`--shards` value may take: far above any real
+/// machine, low enough that a mistyped value cannot ask for a million
+/// threads.
+inline constexpr std::size_t kMaxJobs = 4096;
+
+/// Strict parse of a worker-count option value: decimal digits only (no
+/// sign, no whitespace, no trailing junk), at most kMaxJobs. 0 is valid
+/// and means "pick for me" (see analysis::resolve_jobs). Returns false —
+/// leaving `jobs` untouched — on anything else.
+bool parse_jobs(const std::string& text, std::size_t& jobs);
+
 /// Identify a file's format by its magic ("ESST0001", "ESSTRC01"), not its
 /// name; anything else is treated as CSV.
 TraceFormat sniff_format(const std::string& path);

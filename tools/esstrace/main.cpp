@@ -85,6 +85,14 @@ bool need_value(int argc, char** argv, int& i, const char* flag,
   return true;
 }
 
+bool worker_count(const char* flag, const std::string& v, std::size_t& out) {
+  if (ess::esstrace::parse_jobs(v, out)) return true;
+  std::cerr << "esstrace: invalid " << flag << " value '" << v
+            << "' (want an integer 0.." << ess::esstrace::kMaxJobs
+            << "; 0 = auto)\n";
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,13 +113,13 @@ int main(int argc, char** argv) {
     std::string v;
     if (arg == "--jobs") {
       if (!need_value(argc, argv, i, "--jobs", v)) return 2;
-      jobs = static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+      if (!worker_count("--jobs", v, jobs)) return usage(std::cerr, 2);
     } else if (arg == "--nodes") {
       if (!need_value(argc, argv, i, "--nodes", v)) return 2;
       nodes = std::atoi(v.c_str());
     } else if (arg == "--shards") {
       if (!need_value(argc, argv, i, "--shards", v)) return 2;
-      shards = static_cast<std::size_t>(std::strtoull(v.c_str(), nullptr, 10));
+      if (!worker_count("--shards", v, shards)) return usage(std::cerr, 2);
     } else if (arg == "--after") {
       if (!need_value(argc, argv, i, "--after", v)) return 2;
       filter.ts_min = static_cast<ess::SimTime>(std::atof(v.c_str()) * 1e6);
