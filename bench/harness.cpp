@@ -287,7 +287,7 @@ const char* const kTargets[] = {
     "ext_region_decomposition",
     "ext_checkpoint_class", "ext_parallel_machine",
     "ext_analysis_throughput", "ext_pdes_scaling",
-    "ext_scan_scaling",
+    "ext_scan_scaling",        "ext_merge_scaling",
 };
 
 struct TargetOutcome {

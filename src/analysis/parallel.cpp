@@ -5,12 +5,11 @@
 #include <fstream>
 #include <functional>
 #include <future>
+#include <limits>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <stdexcept>
 #include <string_view>
-#include <tuple>
 #include <utility>
 
 #include "exec/runner.hpp"
@@ -299,6 +298,31 @@ telemetry::SalvageReport verify_esst(const std::string& path,
 
 namespace {
 
+/// Merge order: (timestamp, node id, input position). Node id breaks
+/// timestamp ties, input position makes even equal (timestamp, node)
+/// pairs — two inputs from the same node — stable. Distinct inputs can
+/// therefore never compare equal, which the loser tree below relies on.
+struct MergeKey {
+  SimTime ts = 0;
+  std::int32_t node = 0;
+  std::size_t input = 0;
+};
+
+inline bool key_less(const MergeKey& a, const MergeKey& b) {
+  if (a.ts != b.ts) return a.ts < b.ts;
+  if (a.node != b.node) return a.node < b.node;
+  return a.input < b.input;
+}
+
+/// The "no cursor here" sentinel: sorts after every real key (a real
+/// record at the max timestamp still wins on the input tie-break, since
+/// real inputs are < SIZE_MAX).
+inline MergeKey exhausted_key() {
+  return {std::numeric_limits<SimTime>::max(),
+          std::numeric_limits<std::int32_t>::max(),
+          std::numeric_limits<std::size_t>::max()};
+}
+
 /// One input of the k-way merge: its decoded-chunk double buffer and at
 /// most one chunk-decode in flight on the pool. Indexed inputs decode
 /// zero-copy from a shared-nothing EsstView; inputs whose index did not
@@ -314,6 +338,8 @@ struct MergeCursor {
   std::size_t next_chunk = 0;  // next chunk index to schedule
   std::vector<trace::Record> recs;  // front buffer, being drained
   std::vector<trace::Record> back;  // back buffer, decode target
+  bool recs_sorted = false;  // front buffer non-decreasing by (ts, node)?
+  bool back_sorted = false;  // computed by the decode worker
   std::size_t pos = 0;
   std::future<void> pending;
   std::uint64_t lost_records = 0;  // damaged chunks skipped here
@@ -348,6 +374,7 @@ struct MergeCursor {
     const std::size_t idx = next_chunk++;
     auto task = std::make_shared<std::packaged_task<void()>>([this, idx] {
       back.clear();
+      back_sorted = false;
       try {
         if (view) {
           view->decode_chunk(idx, back);
@@ -357,6 +384,16 @@ struct MergeCursor {
         if (stamp) {
           for (auto& r : back) r.node = stamp_node;
         }
+        // Sortedness by (ts, node) unlocks galloping run emission; checked
+        // here, on the worker, where it overlaps other cursors' decodes.
+        // Capture timestamps are non-decreasing in practice, so this is
+        // one predictable pass — but nothing downstream assumes it holds.
+        back_sorted = std::is_sorted(
+            back.begin(), back.end(),
+            [](const trace::Record& a, const trace::Record& b) {
+              return a.timestamp != b.timestamp ? a.timestamp < b.timestamp
+                                                : a.node < b.node;
+            });
       } catch (const std::runtime_error&) {
         back.clear();
         lost_records += chunks()[idx].records;
@@ -376,11 +413,113 @@ struct MergeCursor {
       if (!pending.valid()) return false;
       pending.get();
       std::swap(recs, back);
+      recs_sorted = back_sorted;
       pos = 0;
       schedule(pool);
     }
     return true;
   }
+
+  MergeKey front_key(std::size_t input) const {
+    return {front().timestamp, front().node, input};
+  }
+
+  /// End of the emittable run: the first index in [pos, recs.size())
+  /// whose key does not sort before `limit` (every other cursor's best
+  /// front), or recs.size(). The caller guarantees the record at `pos`
+  /// qualifies (it is the tournament winner). When the decode worker
+  /// proved the buffer sorted, gallop — exponential probe then bisect —
+  /// so a cursor that owns a long quiet stretch of the timeline emits it
+  /// in O(log run) comparisons; otherwise scan linearly, which is still
+  /// exactly the record-at-a-time heap order.
+  std::size_t run_end(const MergeKey& limit, std::size_t input) const {
+    const auto before = [&](const trace::Record& r) {
+      return key_less({r.timestamp, r.node, input}, limit);
+    };
+    const std::size_t n = recs.size();
+    if (!recs_sorted) {
+      std::size_t i = pos + 1;
+      while (i < n && before(recs[i])) ++i;
+      return i;
+    }
+    std::size_t lo = pos;  // before() known true here
+    std::size_t hi = pos + 1;
+    std::size_t step = 1;
+    while (hi < n && before(recs[hi])) {
+      lo = hi;
+      hi += step;
+      step *= 2;
+    }
+    hi = std::min(hi, n);
+    while (lo + 1 < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (before(recs[mid])) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return hi;
+  }
+};
+
+/// Tournament loser tree over the k cursor fronts. Advancing the winner
+/// replays one leaf-to-root path (log k comparisons, no sift-down double
+/// compares like a binary heap), and the losers stored on that path give
+/// the runner-up key for free — which is exactly the galloping limit the
+/// run emission needs. Exhausted cursors hold the +inf sentinel; the
+/// caller tracks how many are live.
+class LoserTree {
+ public:
+  explicit LoserTree(std::size_t k)
+      : k_(k), tree_(std::max<std::size_t>(k, 1), 0), keys_(k + 1) {
+    keys_[k] = exhausted_key();
+  }
+
+  void set_key(std::size_t leaf, const MergeKey& key) { keys_[leaf] = key; }
+
+  /// Full rebuild from the current keys: one post-order tournament.
+  void build() { tree_[0] = k_ >= 2 ? play(1) : 0; }
+
+  std::size_t winner() const { return tree_[0]; }
+
+  /// Re-run the winner's leaf-to-root path after its key changed.
+  void replay(std::size_t leaf) {
+    std::size_t w = leaf;
+    for (std::size_t node = (leaf + k_) / 2; node >= 1; node /= 2) {
+      if (key_less(keys_[tree_[node]], keys_[w])) std::swap(w, tree_[node]);
+    }
+    tree_[0] = w;
+  }
+
+  /// The best front among the *other* cursors. The true runner-up must
+  /// have lost directly to the champion, so it sits on the champion's
+  /// root path — the minimum over those stored losers, not simply the
+  /// root's loser (which may have lost higher up to a key that was
+  /// already beaten below).
+  MergeKey runner_up() const {
+    MergeKey best = keys_[k_];  // sentinel: +inf
+    for (std::size_t node = (tree_[0] + k_) / 2; node >= 1; node /= 2) {
+      if (key_less(keys_[tree_[node]], best)) best = keys_[tree_[node]];
+    }
+    return best;
+  }
+
+ private:
+  /// Play out the subtree under internal node `node`: stores losers on the
+  /// way up, returns the subtree's winner. External node k+i is leaf i.
+  std::size_t play(std::size_t node) {
+    if (node >= k_) return node - k_;
+    std::size_t a = play(2 * node);
+    std::size_t b = play(2 * node + 1);
+    if (key_less(keys_[b], keys_[a])) std::swap(a, b);
+    tree_[node] = b;  // loser rests here
+    return a;         // winner plays on
+  }
+
+  std::size_t k_;
+  std::vector<std::size_t> tree_;  // [0] champion, [1..k) losers
+  std::vector<MergeKey> keys_;     // per leaf; [k] is the +inf sentinel
 };
 
 }  // namespace
@@ -417,29 +556,46 @@ MergeResult merge_esst(const std::vector<std::string>& inputs,
   meta.multi_node = true;
   std::ofstream out_file(out_path, std::ios::binary | std::ios::trunc);
   if (!out_file) throw std::runtime_error("cannot open " + out_path);
-  telemetry::EsstWriter writer(out_file, meta);
+  telemetry::EsstWriter writer(out_file, meta, out_path);
+  // With workers, the output side pipelines too: chunk payloads encode +
+  // CRC on the pool while this thread runs the tournament. Chunks are
+  // still written in submission order, so bytes never depend on --jobs.
+  if (workers > 1) writer.set_encode_pool(&pool);
 
-  // Min-heap of input indices keyed (timestamp, node, input position):
-  // node id breaks timestamp ties, input position makes even equal
-  // (timestamp, node) pairs — two inputs from the same node — stable.
-  const auto after = [&cursors](std::size_t a, std::size_t b) {
-    const trace::Record& ra = cursors[a].front();
-    const trace::Record& rb = cursors[b].front();
-    return std::tie(ra.timestamp, ra.node, a) >
-           std::tie(rb.timestamp, rb.node, b);
-  };
-  std::priority_queue<std::size_t, std::vector<std::size_t>, decltype(after)>
-      heap(after);
+  // k-way tournament (loser tree) instead of a binary heap: advancing the
+  // winner costs one leaf-to-root replay, and the runner-up key it yields
+  // bounds how far the winner can run ahead — every record of the winner's
+  // buffer that sorts before *every* other cursor's front is emitted as
+  // one batch (galloped when the chunk is sorted). Merging k nodes whose
+  // traffic interleaves coarsely — the common shape: each node owns long
+  // stretches of the timeline — this turns per-record heap churn into a
+  // handful of comparisons per run, while remaining record-exact for
+  // arbitrary (even unsorted) inputs.
+  LoserTree tree(cursors.size());
+  std::size_t live = 0;
   for (std::size_t i = 0; i < cursors.size(); ++i) {
-    if (cursors[i].refill(pool)) heap.push(i);
+    if (cursors[i].refill(pool)) {
+      tree.set_key(i, cursors[i].front_key(i));
+      ++live;
+    } else {
+      tree.set_key(i, exhausted_key());
+    }
   }
-  while (!heap.empty()) {
-    const std::size_t i = heap.top();
-    heap.pop();
-    writer.append(cursors[i].front());
-    ++result.records_written;
-    ++cursors[i].pos;
-    if (cursors[i].refill(pool)) heap.push(i);
+  tree.build();
+  while (live > 0) {
+    const std::size_t i = tree.winner();
+    auto& c = cursors[i];
+    const std::size_t end = c.run_end(tree.runner_up(), i);
+    writer.append(c.recs.data() + c.pos, end - c.pos);
+    result.records_written += end - c.pos;
+    c.pos = end;
+    if (c.pos < c.recs.size() || c.refill(pool)) {
+      tree.set_key(i, c.front_key(i));
+    } else {
+      tree.set_key(i, exhausted_key());
+      --live;
+    }
+    tree.replay(i);
   }
 
   for (const auto& c : cursors) result.dropped_records += c.lost_records;

@@ -107,10 +107,19 @@ struct MergeResult {
 /// (format v2) file ordered by (timestamp, node id, input position) — the
 /// node id breaks timestamp ties, so the output is one deterministic byte
 /// stream regardless of input order permutations of the same files or of
-/// `jobs` (workers only prefetch chunk decodes; they never reorder).
-/// Every record carries its origin: records from a v1 input are stamped
-/// with that input's header node id, v2 inputs keep their per-record ids.
-/// Memory is one resident chunk per input, never a whole capture.
+/// `jobs`. Every record carries its origin: records from a v1 input are
+/// stamped with that input's header node id, v2 inputs keep their
+/// per-record ids. Memory is a couple of resident chunks per input, never
+/// a whole capture.
+///
+/// The core is a loser tree over the k cursor fronts with run detection:
+/// whenever the winning cursor's decoded records sort wholly before every
+/// other cursor's front (the tree's runner-up key), that run is emitted
+/// as one batch — galloped in O(log run) comparisons when the chunk is
+/// sorted by (ts, node) — instead of one tournament per record. Workers
+/// (jobs > 1) prefetch input chunk decodes *and* encode+CRC output chunks
+/// off-thread; both sides preserve submission order, so every jobs value
+/// writes identical bytes, and jobs == 1 remains the plain serial path.
 MergeResult merge_esst(const std::vector<std::string>& inputs,
                        const std::string& out_path, std::size_t jobs = 0);
 

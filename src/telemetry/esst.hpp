@@ -49,6 +49,10 @@
 #include "telemetry/sink.hpp"
 #include "trace/trace_set.hpp"
 
+namespace ess::exec {
+class ThreadPool;  // optional chunk-encode offload target (exec/thread_pool.hpp)
+}
+
 namespace ess::telemetry {
 
 /// CRC-32 (IEEE 802.3, the zlib polynomial). `seed` chains partial blocks:
@@ -85,16 +89,37 @@ struct ChunkInfo {
 
 /// Streaming writer: append records as they are emitted; chunks flush when
 /// full, the index and trailer are written by finish(). Safe to use as the
-/// back-end of a long capture — memory held is one chunk plus the index.
+/// back-end of a long capture — memory held is one chunk's record batch
+/// plus the index (plus two in-flight chunk buffers in offload mode).
+///
+/// Encoding is batched: records accumulate raw in a chunk-sized batch and
+/// are varint-encoded + CRC'd in one pass when the chunk closes. With
+/// set_encode_pool() that pass runs on a worker thread — the owning thread
+/// keeps appending the next batch while up to two chunks encode in flight,
+/// and completed chunks are written strictly in submission order, so the
+/// output bytes are identical to the serial path at any worker count.
 class EsstWriter {
  public:
-  EsstWriter(std::ostream& os, EsstMeta meta);
+  /// `error_context` (usually the output path) is woven into write-failure
+  /// messages along with errno, so "disk full" on node 900 of a 1024-node
+  /// merge names the file that hit it.
+  EsstWriter(std::ostream& os, EsstMeta meta, std::string error_context = {});
   ~EsstWriter();
 
   EsstWriter(const EsstWriter&) = delete;
   EsstWriter& operator=(const EsstWriter&) = delete;
 
   void append(const trace::Record& r);
+  /// Bulk append: one batch-buffer splice per chunk boundary instead of a
+  /// per-record call — the merge fast path hands over whole runs.
+  void append(const trace::Record* r, std::size_t n);
+
+  /// Offload chunk encoding (varint deltas + CRC) to `pool`. Must be set
+  /// before the first append — chunks already written serially cannot be
+  /// retroactively ordered against in-flight ones. nullptr returns to
+  /// inline encoding. The writer never blocks the pool on itself: workers
+  /// only fill buffers, all stream writes stay on the owning thread.
+  void set_encode_pool(exec::ThreadPool* pool);
 
   /// Capture-loss accounting: records that overflowed out of the kernel
   /// ring before reaching this writer. Persisted in the trailer so readers
@@ -110,13 +135,24 @@ class EsstWriter {
   std::uint64_t records_written() const { return total_records_; }
 
  private:
-  void flush_chunk();
+  struct EncodeSlot;
+
+  void close_chunk();                    // route batch_ to flush or submit
+  void flush_chunk();                    // serial: encode + write inline
+  void submit_chunk();                   // offload: hand batch_ to a worker
+  void retire_slot(EncodeSlot& s);       // wait for a slot, write its chunk
+  void abandon_slots() noexcept;         // wait only — teardown safety
+  void write_chunk(ChunkInfo info, const std::uint8_t* payload,
+                   std::size_t len, std::uint32_t crc);
 
   std::ostream& os_;
   EsstMeta meta_;
-  std::vector<std::uint8_t> payload_;  // open chunk, encoded
-  ChunkInfo open_;                     // open chunk summary
-  trace::Record prev_;                 // delta base within the open chunk
+  std::string error_context_;
+  exec::ThreadPool* pool_ = nullptr;
+  std::vector<trace::Record> batch_;   // open chunk, raw records
+  std::vector<std::uint8_t> payload_;  // serial-mode encode scratch
+  std::vector<EncodeSlot> slots_;      // offload ring (submission order)
+  std::size_t next_slot_ = 0;
   std::vector<ChunkInfo> index_;
   std::uint64_t offset_ = 0;  // bytes written so far
   std::uint64_t total_records_ = 0;
@@ -148,6 +184,11 @@ class EsstFileSink final : public Sink {
   void on_records(const trace::Record* r, std::size_t n) override;
   void on_finish(SimTime duration) override;
   void on_drops(std::uint64_t dropped) override;
+
+  /// Forwarded to EsstWriter::set_encode_pool: chunk payloads encode on
+  /// `pool` workers while this thread keeps draining records. Set before
+  /// the first record; bytes written are identical either way.
+  void set_encode_pool(exec::ThreadPool* pool);
 
   std::uint64_t records_written() const;
 

@@ -22,6 +22,7 @@
 // from public headers.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <stdexcept>
@@ -99,6 +100,40 @@ inline std::int64_t unzigzag(std::uint64_t u) {
   return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
 }
 
+/// Fast encode: caller guarantees kMaxVarintBytes writable at `p`. The
+/// mirror of get_uvarint_fast — the 1-byte case (almost every delta after
+/// zigzag) is one store and one predictable branch, 2 bytes costs one more
+/// of each, and only genuinely wide values take the continuation loop.
+/// Emits exactly the bytes put_uvarint would (canonical LEB128), so the
+/// two encoders can never produce different files. Returns the byte after
+/// the varint.
+inline std::uint8_t* put_uvarint_fast(std::uint8_t* p, std::uint64_t v) {
+  if (v < 0x80) {
+    p[0] = static_cast<std::uint8_t>(v);
+    return p + 1;
+  }
+  p[0] = static_cast<std::uint8_t>(v) | 0x80;
+  v >>= 7;
+  if (v < 0x80) {
+    p[1] = static_cast<std::uint8_t>(v);
+    return p + 2;
+  }
+  p[1] = static_cast<std::uint8_t>(v) | 0x80;
+  v >>= 7;
+  p += 2;
+  while (v >= 0x80) {
+    *p++ = static_cast<std::uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  *p++ = static_cast<std::uint8_t>(v);
+  return p;
+}
+
+inline std::uint8_t* put_svarint_fast(std::uint8_t* p, std::int64_t v) {
+  return put_uvarint_fast(p, (static_cast<std::uint64_t>(v) << 1) ^
+                                 static_cast<std::uint64_t>(v >> 63));
+}
+
 /// Checked decode: safe at any distance from the end of the span.
 inline bool get_uvarint(const std::uint8_t* p, std::size_t len,
                         std::size_t& pos, std::uint64_t& v) {
@@ -161,21 +196,92 @@ inline const std::uint8_t* get_svarint_fast(const std::uint8_t* p,
 
 // ---- record encode / decode ----------------------------------------------
 
-inline void encode_record(std::vector<std::uint8_t>& out,
-                          const trace::Record& r, const trace::Record& prev,
-                          bool multi_node) {
-  put_svarint(out, static_cast<std::int64_t>(r.timestamp) -
-                       static_cast<std::int64_t>(prev.timestamp));
-  put_svarint(out, static_cast<std::int64_t>(r.sector) -
-                       static_cast<std::int64_t>(prev.sector));
-  put_svarint(out, static_cast<std::int64_t>(r.size_bytes) -
-                       static_cast<std::int64_t>(prev.size_bytes));
-  put_uvarint(out, (static_cast<std::uint64_t>(r.outstanding) << 1) |
-                       (r.is_write ? 1u : 0u));
-  if (multi_node) {
-    put_svarint(out, static_cast<std::int64_t>(r.node) -
-                         static_cast<std::int64_t>(prev.node));
+/// What encode_payload_into measured while encoding: the payload's length
+/// within the (worst-case-sized) output buffer, and the running max
+/// timestamp of the batch — the writer's trailer duration wants the max
+/// over *all* records, which for unsorted streams is not ts_last.
+struct EncodeResult {
+  std::size_t payload_len = 0;
+  SimTime max_ts = 0;
+};
+
+namespace detail {
+
+/// The encode hot loop, monomorphized per format version like its decode
+/// twin below. `out` is kept at worst-case size (capacity is reused across
+/// chunks and never shrunk, so steady state touches no allocator and pays
+/// no resize memset); the real payload length comes back in the result.
+/// Also fills `info`'s footer summary (records/ts/sector ranges) in the
+/// same pass, so the caller serializes the footer without re-walking the
+/// batch.
+template <bool MultiNode>
+inline EncodeResult encode_payload_impl(const trace::Record* recs,
+                                        std::size_t n,
+                                        std::vector<std::uint8_t>& out,
+                                        ChunkInfo& info) {
+  constexpr std::size_t per_record_max =
+      kMaxVarintBytes * (MultiNode ? 5 : 4);
+  EncodeResult res;
+  info.records = static_cast<std::uint32_t>(n);
+  if (n == 0) {
+    info.ts_first = info.ts_last = 0;
+    info.sector_min = info.sector_max = 0;
+    return res;
   }
+  if (out.size() < per_record_max * n) out.resize(per_record_max * n);
+  info.ts_first = recs[0].timestamp;
+  info.ts_last = recs[n - 1].timestamp;
+  info.sector_min = recs[0].sector;
+  info.sector_max = recs[0].sector;
+  std::uint8_t* q = out.data();
+  trace::Record prev;  // chunks decode independently: delta base resets
+  for (std::size_t i = 0; i < n; ++i) {
+    const trace::Record& r = recs[i];
+    q = put_svarint_fast(q, static_cast<std::int64_t>(r.timestamp) -
+                                static_cast<std::int64_t>(prev.timestamp));
+    q = put_svarint_fast(q, static_cast<std::int64_t>(r.sector) -
+                                static_cast<std::int64_t>(prev.sector));
+    q = put_svarint_fast(q, static_cast<std::int64_t>(r.size_bytes) -
+                                static_cast<std::int64_t>(prev.size_bytes));
+    q = put_uvarint_fast(q, (static_cast<std::uint64_t>(r.outstanding) << 1) |
+                                (r.is_write ? 1u : 0u));
+    if constexpr (MultiNode) {
+      q = put_svarint_fast(q, static_cast<std::int64_t>(r.node) -
+                                  static_cast<std::int64_t>(prev.node));
+    }
+    prev = r;
+    info.sector_min = std::min(info.sector_min, r.sector);
+    info.sector_max = std::max(info.sector_max, r.sector);
+    res.max_ts = std::max(res.max_ts, r.timestamp);
+  }
+  res.payload_len = static_cast<std::size_t>(q - out.data());
+  return res;
+}
+
+}  // namespace detail
+
+/// Encode a whole record batch into one chunk payload. `out` grows to the
+/// batch's worst case once and is then reused verbatim across chunks — the
+/// valid bytes are [0, result.payload_len), not out.size(). Byte-for-byte
+/// identical to the original record-at-a-time put_svarint loop.
+inline EncodeResult encode_payload_into(const trace::Record* recs,
+                                        std::size_t n, bool multi_node,
+                                        std::vector<std::uint8_t>& out,
+                                        ChunkInfo& info) {
+  return multi_node ? detail::encode_payload_impl<true>(recs, n, out, info)
+                    : detail::encode_payload_impl<false>(recs, n, out, info);
+}
+
+/// Serialize a chunk footer's 24-byte summary (everything but the CRC slot)
+/// from its index entry — shared by the writer's serial and offloaded
+/// paths, which must frame chunks identically.
+inline void put_chunk_footer_summary(std::uint8_t* ftr,
+                                     const ChunkInfo& info) {
+  put_u32(ftr, info.records);
+  put_u64(ftr + 4, info.ts_first);
+  put_u64(ftr + 12, info.ts_last);
+  put_u32(ftr + 20, info.sector_min);
+  put_u32(ftr + 24, info.sector_max);
 }
 
 namespace detail {

@@ -2,13 +2,21 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "exec/thread_pool.hpp"
 #include "fault/fault.hpp"
+#include "telemetry/esst_codec.hpp"
 #include "trace/io.hpp"
+#include "util/rng.hpp"
 
 namespace ess::telemetry {
 namespace {
@@ -40,6 +48,230 @@ TEST(EsstFormat, Crc32MatchesKnownVector) {
   // Chaining partial blocks equals one pass.
   const std::uint32_t part = crc32("12345", 5);
   EXPECT_EQ(crc32("6789", 4, part), 0xcbf43926u);
+  // More published vectors (zlib's crc32 agrees on all of these).
+  EXPECT_EQ(crc32("", 0), 0x00000000u);
+  EXPECT_EQ(crc32("a", 1), 0xe8b7be43u);
+  EXPECT_EQ(crc32("abc", 3), 0x352441c2u);
+  const char fox[] = "The quick brown fox jumps over the lazy dog";
+  EXPECT_EQ(crc32(fox, sizeof fox - 1), 0x414fa339u);
+}
+
+/// The retired bytewise loop, kept here as the reference the slicing-by-8
+/// production implementation must match bit for bit.
+std::uint32_t crc32_bytewise(const void* data, std::size_t len,
+                             std::uint32_t seed = 0) {
+  static std::uint32_t table[256];
+  static const bool init = [] {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)init;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < len; ++i) c = table[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+TEST(EsstFormat, Crc32SlicingMatchesBytewiseOnAwkwardLengthsAndAlignments) {
+  // Lengths straddling the 8-byte fold boundary and the chunk sizes the
+  // format actually uses, at every alignment offset — the cases where a
+  // word-at-a-time implementation can go wrong.
+  Rng rng(0xc7c32);
+  std::vector<std::uint8_t> buf(4097 + 8);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform(256));
+  for (const std::size_t len : {0u, 1u, 7u, 8u, 9u, 15u, 16u, 17u, 63u,
+                                4095u, 4096u, 4097u}) {
+    for (std::size_t align = 0; align < 8; ++align) {
+      const std::uint8_t* p = buf.data() + align;
+      EXPECT_EQ(crc32(p, len), crc32_bytewise(p, len))
+          << "len=" << len << " align=" << align;
+      // Seed chaining has to agree too — the chunk CRC chains payload into
+      // footer, so a seeded mismatch would corrupt every capture.
+      const std::uint32_t seed = static_cast<std::uint32_t>(
+          rng.uniform(0xffffffffu));
+      EXPECT_EQ(crc32(p, len, seed), crc32_bytewise(p, len, seed))
+          << "len=" << len << " align=" << align;
+    }
+  }
+  // Split-anywhere chaining across the fast implementation itself.
+  for (const std::size_t cut : {0u, 1u, 7u, 8u, 9u, 100u, 4096u}) {
+    const std::uint32_t whole = crc32(buf.data(), buf.size());
+    const std::uint32_t part = crc32(buf.data(), cut);
+    EXPECT_EQ(crc32(buf.data() + cut, buf.size() - cut, part), whole)
+        << "cut=" << cut;
+  }
+}
+
+TEST(EsstFormat, FastVarintEncoderMatchesReferenceEncoder) {
+  // put_uvarint_fast must emit byte-for-byte what the push_back reference
+  // encoder emits, for every width class (1..10 bytes) and around each
+  // 7-bit group boundary.
+  std::vector<std::uint64_t> values = {0, 1, 0x7f};
+  for (int bits = 7; bits <= 63; bits += 7) {
+    const std::uint64_t edge = 1ull << bits;
+    values.push_back(edge - 1);
+    values.push_back(edge);
+    values.push_back(edge + 1);
+  }
+  values.push_back(~0ull);
+  Rng rng(123);
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(rng.uniform(~0ull));
+  }
+  for (const std::uint64_t v : values) {
+    std::vector<std::uint8_t> want;
+    codec::put_uvarint(want, v);
+    std::uint8_t got[codec::kMaxVarintBytes] = {};
+    const std::uint8_t* end = codec::put_uvarint_fast(got, v);
+    ASSERT_EQ(static_cast<std::size_t>(end - got), want.size()) << v;
+    EXPECT_EQ(std::memcmp(got, want.data(), want.size()), 0) << v;
+    // And the fast decoder inverts the fast encoder.
+    std::uint64_t back = 0;
+    EXPECT_EQ(codec::get_uvarint_fast(got, back), end);
+    EXPECT_EQ(back, v);
+  }
+  for (const std::int64_t v :
+       {std::int64_t{0}, std::int64_t{-1}, std::int64_t{1}, std::int64_t{-64},
+        std::int64_t{64}, std::int64_t{-65}, INT64_MIN, INT64_MAX}) {
+    std::vector<std::uint8_t> want;
+    codec::put_svarint(want, v);
+    std::uint8_t got[codec::kMaxVarintBytes] = {};
+    const std::uint8_t* end = codec::put_svarint_fast(got, v);
+    ASSERT_EQ(static_cast<std::size_t>(end - got), want.size()) << v;
+    EXPECT_EQ(std::memcmp(got, want.data(), want.size()), 0) << v;
+  }
+}
+
+TEST(EsstFormat, OffloadedEncodeWritesIdenticalBytes) {
+  // The chunk-encode offload must be invisible in the output: same trace,
+  // same meta, any worker count → identical files. Cover v1 and v2, a
+  // partial final chunk, a single-record capture, and an empty one.
+  exec::ThreadPool pool(4);
+  for (const bool multi : {false, true}) {
+    for (const std::size_t n : {0u, 1u, 100u, 1000u, 1025u}) {
+      auto ts = sample(n);
+      if (multi) {
+        trace::TraceSet stamped("esst-roundtrip", -1);
+        int i = 0;
+        for (auto r : ts.records()) {
+          r.node = i++ % 5;
+          stamped.add(r);
+        }
+        stamped.set_duration(ts.duration());
+        ts = std::move(stamped);
+      }
+      EsstMeta meta;
+      meta.multi_node = multi;
+      meta.records_per_chunk = 64;
+
+      std::ostringstream serial;
+      {
+        EsstWriter w(serial, meta);
+        w.append(ts.records().data(), ts.records().size());
+        w.finish(ts.duration());
+      }
+      std::ostringstream offloaded;
+      {
+        EsstWriter w(offloaded, meta);
+        w.set_encode_pool(&pool);
+        // Mixed single/batch appends: chunk boundaries must not care how
+        // records arrived.
+        std::size_t i = 0;
+        for (; i < std::min<std::size_t>(10, ts.size()); ++i) {
+          w.append(ts.records()[i]);
+        }
+        w.append(ts.records().data() + i, ts.size() - i);
+        w.finish(ts.duration());
+      }
+      EXPECT_EQ(offloaded.str(), serial.str())
+          << "multi=" << multi << " n=" << n;
+    }
+  }
+}
+
+TEST(EsstFormat, EncodePoolAfterFirstAppendIsRejected) {
+  exec::ThreadPool pool(1);
+  std::ostringstream os;
+  EsstWriter w(os, {});
+  w.append(sample(1).records()[0]);
+  EXPECT_THROW(w.set_encode_pool(&pool), std::logic_error);
+}
+
+TEST(EsstFormat, FileSinkOffloadedEncodeWritesIdenticalFile) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path();
+  const std::string serial_path =
+      (dir / ("esst_sink_serial_" + std::to_string(::getpid()) + ".esst"))
+          .string();
+  const std::string pooled_path =
+      (dir / ("esst_sink_pooled_" + std::to_string(::getpid()) + ".esst"))
+          .string();
+  const auto ts = sample(700);
+  EsstMeta meta;
+  meta.records_per_chunk = 128;
+  {
+    EsstFileSink sink(serial_path, meta);
+    sink.on_records(ts.records().data(), ts.size());
+    sink.on_finish(ts.duration());
+    EXPECT_FALSE(sink.failed());
+  }
+  {
+    exec::ThreadPool pool(2);
+    EsstFileSink sink(pooled_path, meta);
+    sink.set_encode_pool(&pool);
+    sink.on_records(ts.records().data(), ts.size());
+    sink.on_finish(ts.duration());
+    EXPECT_FALSE(sink.failed());
+  }
+  std::ifstream a(serial_path, std::ios::binary);
+  std::ifstream b(pooled_path, std::ios::binary);
+  std::ostringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+  fs::remove(serial_path);
+  fs::remove(pooled_path);
+}
+
+TEST(EsstHardening, WriteFailureCarriesTheWriterErrorContext) {
+  // A writer constructed with an error context (the output path) must name
+  // it when the stream dies — "write failed" alone is useless mid-merge.
+  std::stringstream backing;
+  fault::FailAfterStream failing(backing, 2000);
+  EsstMeta meta;
+  meta.records_per_chunk = 16;
+  EsstWriter w(failing, meta, "node0042.esst");
+  const auto ts = sample(400);
+  try {
+    w.append(ts.records().data(), ts.size());
+    w.finish(ts.duration());
+    FAIL() << "expected a write failure";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("esst: write failed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("node0042.esst"), std::string::npos) << msg;
+  }
+}
+
+TEST(EsstHardening, FileSinkErrorNamesThePathOnDiskFull) {
+  // /dev/full fails every flush with ENOSPC: the latched sink error must
+  // carry the path (and the OS reason) through the writer's context.
+  if (!std::filesystem::exists("/dev/full")) GTEST_SKIP();
+  EsstMeta meta;
+  meta.records_per_chunk = 16;
+  EsstFileSink sink("/dev/full", meta);
+  const auto ts = sample(400);
+  sink.on_records(ts.records().data(), ts.size());
+  sink.on_finish(ts.duration());
+  EXPECT_TRUE(sink.failed());
+  EXPECT_NE(sink.error().find("/dev/full"), std::string::npos)
+      << sink.error();
 }
 
 TEST(EsstFormat, RoundTripIdenticalRecords) {

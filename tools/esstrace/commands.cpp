@@ -190,8 +190,15 @@ int cmd_info(const std::string& path, std::ostream& out, std::ostream& err) {
   }
   if (m.multi_node) {
     // A v2 (merged) file: every record carries its origin node, so one
-    // decode pass gives the per-node breakdown and the id range.
-    std::map<std::int32_t, std::uint64_t> per_node;
+    // decode pass gives the per-node breakdown and the id range. The byte
+    // totals (sum of request sizes) sit next to the record counts so I/O
+    // skew across nodes is visible at a glance — a node can be quiet in
+    // records yet dominate in bytes.
+    struct NodeTotals {
+      std::uint64_t records = 0;
+      std::uint64_t bytes = 0;
+    };
+    std::map<std::int32_t, NodeTotals> per_node;
     std::vector<trace::Record> recs;
     for (std::size_t i = 0; i < reader.chunks().size(); ++i) {
       try {
@@ -199,16 +206,22 @@ int cmd_info(const std::string& path, std::ostream& out, std::ostream& err) {
       } catch (const std::runtime_error&) {
         continue;  // damaged chunks are already reported above
       }
-      for (const auto& r : recs) ++per_node[r.node];
+      for (const auto& r : recs) {
+        auto& t = per_node[r.node];
+        ++t.records;
+        t.bytes += r.size_bytes;
+      }
     }
     if (per_node.empty()) {
       out << "nodes           0\n";
     } else {
       put(out, "nodes           %zu  (ids %d..%d)\n", per_node.size(),
           per_node.begin()->first, per_node.rbegin()->first);
-      for (const auto& [node, count] : per_node) {
-        put(out, "  node %6d  %12llu records\n", node,
-            static_cast<unsigned long long>(count));
+      for (const auto& [node, t] : per_node) {
+        put(out, "  node %6d  %12llu records  %14llu bytes  (%.1f MB)\n",
+            node, static_cast<unsigned long long>(t.records),
+            static_cast<unsigned long long>(t.bytes),
+            static_cast<double>(t.bytes) / (1024.0 * 1024.0));
       }
     }
   }
