@@ -222,7 +222,12 @@ struct PdesRow {
   std::size_t shards = 0;
   std::size_t jobs = 0;
   double wall_seconds = 0;
+  /// Serial wall at the same node count / this row's wall; 1.0 on the
+  /// reference rows themselves.
+  double speedup_vs_serial = 1.0;
   std::uint64_t messages = 0;
+  std::uint64_t windows = 0;        // windows that paid the serialized drain
+  std::uint64_t fused_windows = 0;  // quiescent windows that skipped it
   std::uint64_t records = 0;
   bool completed = false;
   bool identical_to_serial = true;
@@ -249,6 +254,7 @@ std::vector<PdesRow> pdes_scaling_bench() {
   }
   std::vector<PdesRow> rows;
   std::vector<trace::TraceSet> serial_ref;
+  double serial_wall = 0;  // cells are ordered serial-first per node count
   for (const auto& c : cells) {
     auto r = bench::pdes_run_combined(c.nodes, c.shards, c.jobs, scfg);
     PdesRow row;
@@ -257,13 +263,19 @@ std::vector<PdesRow> pdes_scaling_bench() {
     row.jobs = c.jobs;
     row.wall_seconds = r.wall_seconds;
     row.messages = r.stats.sends;
+    row.windows = r.stats.windows;
+    row.fused_windows = r.stats.fused_windows;
     for (const auto& t : r.traces) row.records += t.size();
     row.completed = r.completed;
     if (c.shards == 1 && c.jobs == 1) {
       serial_ref = std::move(r.traces);
+      serial_wall = r.wall_seconds;
     } else {
       row.identical_to_serial =
           bench::pdes_traces_identical(serial_ref, r.traces);
+      if (r.wall_seconds > 0) {
+        row.speedup_vs_serial = serial_wall / r.wall_seconds;
+      }
     }
     rows.push_back(row);
   }
@@ -505,15 +517,18 @@ int main(int argc, char** argv) {
   // 3. The PDES shard-scaling matrix, in-process.
   const auto pdes_rows = pdes_scaling_bench();
   std::printf("\nPDES shard scaling (combined load, capture scale):\n");
-  std::printf("  %6s %7s %5s %9s %10s %10s  %s\n", "nodes", "shards",
-              "jobs", "wall s", "msgs", "records", "vs serial");
+  std::printf("  %6s %7s %5s %9s %8s %10s %9s %10s  %s\n", "nodes",
+              "shards", "jobs", "wall s", "speedup", "msgs", "windows",
+              "records", "vs serial");
   for (const auto& r : pdes_rows) {
     const bool serial = r.shards == 1 && r.jobs == 1;
     const bool row_ok = r.completed && r.identical_to_serial;
     all_ok &= row_ok;
-    std::printf("  %6d %7zu %5zu %9.2f %10llu %10llu  %s%s\n", r.nodes,
-                r.shards, r.jobs, r.wall_seconds,
+    std::printf("  %6d %7zu %5zu %9.2f %7.2fx %10llu %9llu %10llu  %s%s\n",
+                r.nodes, r.shards, r.jobs, r.wall_seconds,
+                r.speedup_vs_serial,
                 static_cast<unsigned long long>(r.messages),
+                static_cast<unsigned long long>(r.windows),
                 static_cast<unsigned long long>(r.records),
                 serial ? "(reference)"
                        : r.identical_to_serial ? "identical" : "DIVERGED",
@@ -621,8 +636,14 @@ int main(int argc, char** argv) {
       j.value(static_cast<std::uint64_t>(r.jobs));
       j.key("wall_seconds");
       j.value(r.wall_seconds);
+      j.key("speedup_vs_serial");
+      j.value(r.speedup_vs_serial);
       j.key("messages");
       j.value(r.messages);
+      j.key("windows");
+      j.value(r.windows);
+      j.key("fused_windows");
+      j.value(r.fused_windows);
       j.key("records");
       j.value(r.records);
       j.key("completed");

@@ -1,0 +1,169 @@
+#include "exec/epoch_barrier.hpp"
+
+#include <algorithm>
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace ess::exec {
+namespace {
+
+/// A short optimistic spin before parking: long enough to bridge the gap
+/// between an owner publishing an epoch and a running worker noticing it
+/// (or vice versa at the join edge), short enough that an idle machine
+/// parks within microseconds.
+constexpr int kSpinReps = 1024;
+
+}  // namespace
+
+EpochBarrier::EpochBarrier(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+EpochBarrier::~EpochBarrier() {
+  stop_.store(true, std::memory_order_seq_cst);
+  // Bump by 2: the word stays even (closed), so a late worker can never
+  // mistake the shutdown tick for a new epoch, but every parked compare
+  // fails and the stop flag is seen on the way around.
+  word_.fetch_add(2, std::memory_order_seq_cst);
+  wake(word_, static_cast<int>(threads_.size()));
+  for (auto& t : threads_) t.join();
+}
+
+void EpochBarrier::park(std::atomic<std::uint32_t>& w, std::uint32_t seen) {
+#if defined(__linux__)
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&w),
+          FUTEX_WAIT_PRIVATE, seen, nullptr, nullptr, 0);
+#else
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return w.load(std::memory_order_relaxed) != seen; });
+#endif
+}
+
+void EpochBarrier::wake(std::atomic<std::uint32_t>& w, int n) {
+  if (n <= 0) return;
+#if defined(__linux__)
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&w),
+          FUTEX_WAKE_PRIVATE, n, nullptr, nullptr, 0);
+#else
+  (void)w;
+  { std::lock_guard<std::mutex> lock(mu_); }
+  cv_.notify_all();
+#endif
+}
+
+void EpochBarrier::pull() {
+  for (;;) {
+    const std::uint64_t i = next_.fetch_add(1, std::memory_order_acq_rel);
+    if (i >= total_) return;
+    try {
+      fn_(ctx_, static_cast<std::size_t>(i));
+    } catch (...) {
+      errs_[static_cast<std::size_t>(i)] = std::current_exception();
+    }
+    if (done_.fetch_add(1, std::memory_order_acq_rel) + 1 == total_) {
+      sig_.fetch_add(1, std::memory_order_seq_cst);
+      wake(sig_, 1);
+    }
+  }
+}
+
+void EpochBarrier::worker_loop() {
+  std::uint32_t last_open = 0;  // word_ starts even; 0 never marks an epoch
+  for (;;) {
+    const std::uint32_t w = word_.load(std::memory_order_seq_cst);
+    if (stop_.load(std::memory_order_seq_cst)) return;
+    if ((w & 1u) == 0 || w == last_open) {
+      // Nothing new: spin briefly in case an epoch is about to open, then
+      // park on the word.
+      bool changed = false;
+      for (int r = 0; r < kSpinReps; ++r) {
+        if (word_.load(std::memory_order_relaxed) != w) {
+          changed = true;
+          break;
+        }
+      }
+      if (!changed) park(word_, w);
+      continue;
+    }
+    // A new open epoch. Publish ourselves, then confirm the epoch is
+    // still the one we saw: the owner closes the word before it may
+    // rewrite any per-epoch state, and checks active_ == 0 after closing,
+    // so past this pair of seq_cst operations the ticket counter and job
+    // table are guaranteed stable for the epoch we pull from.
+    active_.fetch_add(1, std::memory_order_seq_cst);
+    if (word_.load(std::memory_order_seq_cst) == w) {
+      last_open = w;
+      pull();
+    }
+    active_.fetch_sub(1, std::memory_order_seq_cst);
+    sig_.fetch_add(1, std::memory_order_seq_cst);
+    wake(sig_, 1);
+  }
+}
+
+void EpochBarrier::run(std::size_t jobs, void (*fn)(void*, std::size_t),
+                       void* ctx) {
+  if (jobs == 0) return;
+  if (threads_.empty() || jobs == 1) {
+    // Inline mode: exceptions propagate directly, exactly like the old
+    // workers==0 window path (and a single job has no peers to outlive).
+    for (std::size_t i = 0; i < jobs; ++i) fn(ctx, i);
+    return;
+  }
+
+  total_ = jobs;
+  fn_ = fn;
+  ctx_ = ctx;
+  errs_.assign(jobs, nullptr);
+  done_.store(0, std::memory_order_relaxed);
+  next_.store(0, std::memory_order_relaxed);
+  const std::uint32_t open = word_.load(std::memory_order_relaxed) + 1;
+  word_.store(open, std::memory_order_seq_cst);  // odd: epoch is open
+  wake(word_, static_cast<int>(
+                  std::min(threads_.size(), jobs - 1)));  // owner takes one
+
+  pull();  // the owner is always a participant
+
+  // Wait for the stragglers' jobs, spinning briefly first — on a
+  // multi-core host the peers finish within the owner's spin nearly
+  // every window, skipping the syscall.
+  for (;;) {
+    if (done_.load(std::memory_order_acquire) == total_) break;
+    bool done_now = false;
+    for (int r = 0; r < kSpinReps; ++r) {
+      if (done_.load(std::memory_order_acquire) == total_) {
+        done_now = true;
+        break;
+      }
+    }
+    if (done_now) break;
+    const std::uint32_t s = sig_.load(std::memory_order_seq_cst);
+    if (done_.load(std::memory_order_acquire) == total_) break;
+    park(sig_, s);
+  }
+
+  // Close the epoch, then wait out any worker still inside pull() (it can
+  // only be draining the exhausted counter). After this no worker can
+  // touch per-epoch state until the next open, so the next run() may
+  // rewrite it freely.
+  word_.store(open + 1, std::memory_order_seq_cst);
+  for (;;) {
+    if (active_.load(std::memory_order_seq_cst) == 0) break;
+    const std::uint32_t s = sig_.load(std::memory_order_seq_cst);
+    if (active_.load(std::memory_order_seq_cst) == 0) break;
+    park(sig_, s);
+  }
+
+  for (auto& e : errs_) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace ess::exec

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "cluster/ethernet.hpp"
+#include "exec/epoch_barrier.hpp"
 #include "kernel/fabric_iface.hpp"
 #include "sim/engine.hpp"
 #include "util/sim_time.hpp"
@@ -51,6 +52,21 @@ struct FabricStats {
   /// Summed per-NIC transmit time (a cluster-wide figure: with N nodes it
   /// can exceed wall-clock sim time N-fold).
   SimTime nic_busy = 0;
+
+  // Window-scheduler counters, bumped by the machine via note_window().
+  // sends/recvs/bytes/barriers_completed are partition-invariant; these
+  // three describe the scheduler and legitimately vary with the shard
+  // count (they are the knobs the perf work turns).
+  /// Lookahead windows that entered the serialized drain section.
+  std::uint64_t windows = 0;
+  /// Windows fused straight onto the previous one: the fabric was
+  /// quiescent (no outbox flight, no barrier entry anywhere), so the
+  /// drain was skipped entirely. The pre-fusion scheduler would have
+  /// counted these under `windows`.
+  std::uint64_t fused_windows = 0;
+  /// Shard-window slots skipped because the shard had no event before
+  /// the window boundary (its runner was never woken).
+  std::uint64_t elided_shards = 0;
 };
 
 class WindowFabric final : public kernel::MessageFabric {
@@ -92,7 +108,29 @@ class WindowFabric final : public kernel::MessageFabric {
   /// groups release all their entrants. Every injected event's time is
   /// >= the entry/send time + lookahead(), so it is never in any shard's
   /// past as long as drains happen at least once per lookahead window.
-  void drain(const std::vector<sim::Engine*>& shard_engines);
+  ///
+  /// When `gang` is non-null and the flight list is large, the
+  /// canonically-sorted list is pre-partitioned by destination shard and
+  /// the per-engine injection runs in parallel — the global sort (the
+  /// order determinism depends on) stays single-threaded, and each
+  /// engine still sees its flights in exactly the sorted order, so the
+  /// injected event streams are unchanged.
+  void drain(const std::vector<sim::Engine*>& shard_engines,
+             exec::EpochBarrier* gang = nullptr);
+
+  /// True when no shard holds a pending flight or barrier entry — the
+  /// next drain would be a no-op, so the machine may fuse the next
+  /// window straight onto this one. Barrier groups left unfilled across
+  /// drains don't count: they can only fill through new entries.
+  bool quiescent() const;
+
+  /// Scheduler accounting, called once per window by the machine (from
+  /// the serialized section).
+  void note_window(bool fused, std::size_t elided) {
+    FabricStats& st = drain_stats_;
+    fused ? ++st.fused_windows : ++st.windows;
+    st.elided_shards += elided;
+  }
 
   /// Folded over the per-shard accumulators; call between windows.
   FabricStats stats() const;
@@ -150,6 +188,14 @@ class WindowFabric final : public kernel::MessageFabric {
 
   cluster::EthernetModel net_;
   std::vector<ShardState> shards_;
+  // Drain scratch, reused so the steady-state drain allocates nothing:
+  // the gathered flight/entry lists, each flight's destination shard,
+  // and the sorted flight indices grouped by destination shard.
+  std::vector<Flight> flights_;
+  std::vector<BarrierEntry> entries_;
+  std::vector<std::uint32_t> flight_shard_;
+  std::vector<std::uint32_t> flight_order_;
+  std::vector<std::size_t> shard_slice_;
   std::vector<Task> tasks_;                    // by rank
   std::vector<Nic> nics_;                      // by node id
   std::vector<std::deque<Mail>> mailboxes_;    // by rank

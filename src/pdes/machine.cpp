@@ -4,6 +4,8 @@
 #include <exception>
 #include <stdexcept>
 
+#include "exec/thread_pool.hpp"  // default_workers()
+
 namespace ess::pdes {
 namespace {
 
@@ -24,20 +26,27 @@ std::size_t resolve_shards(const MachineConfig& cfg) {
 
 Machine::Machine(MachineConfig cfg)
     : workers_(resolve_workers(cfg.jobs)),
-      pool_(workers_ <= 1 ? 0 : workers_),
-      fabric_(cfg.ethernet, resolve_shards(cfg)) {
-  const std::size_t shards = resolve_shards(cfg);
+      // Computed once: fabric shard slots, engine partitions, and the
+      // node->shard map below all derive from this one value and can
+      // never diverge.
+      nshards_(resolve_shards(cfg)),
+      // The coordinating thread is always a runner, so jobs = N means
+      // N - 1 parked gang threads; a gang wider than the shard count
+      // could never all run at once.
+      gang_(workers_ <= 1 ? 0 : std::min(workers_, nshards_) - 1),
+      fabric_(cfg.ethernet, nshards_) {
   const auto n = static_cast<std::size_t>(cfg.nodes);
-  engines_.reserve(shards);
-  for (std::size_t s = 0; s < shards; ++s) {
+  engines_.reserve(nshards_);
+  for (std::size_t s = 0; s < nshards_; ++s) {
     engines_.push_back(std::make_unique<sim::Engine>());
     engine_ptrs_.push_back(engines_.back().get());
   }
+  next_cache_.assign(nshards_, sim::Engine::kNoEvent);
   // Contiguous blocks of nodes per shard, sized within one of each other.
   nodes_.reserve(n);
   shard_of_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t shard = i * shards / n;
+    const std::size_t shard = i * nshards_ / n;
     kernel::KernelConfig ncfg = cfg.node;
     ncfg.seed = cfg.node.seed + i * 7919;  // pvm::Machine's per-node jitter
     if (cfg.tune_node) cfg.tune_node(static_cast<int>(i), ncfg);
@@ -75,6 +84,7 @@ void Machine::stage(int node_idx, const workload::OpTrace& w) {
   }
   nd.fsys().sync();
   now_ = std::max(now_, nd.engine().now());
+  horizon_dirty_ = true;
 }
 
 mm::Pid Machine::spawn_rank(int node_idx, workload::OpTrace trace,
@@ -93,56 +103,81 @@ mm::Pid Machine::spawn_rank(int node_idx, workload::OpTrace trace,
   } else {
     nd.start(pid);
   }
+  horizon_dirty_ = true;
   return pid;
 }
 
 void Machine::ioctl_all(driver::TraceLevel level) {
   for (auto& nd : nodes_) nd->ioctl_trace(level);
+  horizon_dirty_ = true;
 }
 
-void Machine::drain() { fabric_.drain(engine_ptrs_); }
+bool Machine::drain_unless_quiescent() {
+  if (fabric_.quiescent()) return false;
+  fabric_.drain(engine_ptrs_, gang_.workers() > 0 ? &gang_ : nullptr);
+  horizon_dirty_ = true;  // injections move shard horizons
+  return true;
+}
 
-SimTime Machine::horizon() {
+void Machine::refresh_next() {
+  for (std::size_t s = 0; s < engines_.size(); ++s) {
+    next_cache_[s] = engines_[s]->next_time();
+  }
+  horizon_dirty_ = false;
+}
+
+SimTime Machine::cached_horizon() const {
   SimTime t = sim::Engine::kNoEvent;
-  for (auto& e : engines_) t = std::min(t, e->next_time());
+  for (const SimTime c : next_cache_) t = std::min(t, c);
   return t;
 }
 
-void Machine::run_window(SimTime t, bool before) {
-  if (pool_.workers() == 0) {
-    for (auto& e : engines_) {
-      before ? e->run_before(t) : e->run_until(t);
-    }
-    return;
-  }
-  // Pool jobs must not throw; park the first failure per shard and
-  // rethrow once the window barrier is down.
-  std::vector<std::exception_ptr> errs(engines_.size());
+std::size_t Machine::run_window(SimTime t, bool before) {
+  if (horizon_dirty_) refresh_next();
+  active_.clear();
   for (std::size_t s = 0; s < engines_.size(); ++s) {
-    sim::Engine* e = engines_[s].get();
-    pool_.submit([e, t, before, err = &errs[s]] {
-      try {
-        before ? e->run_before(t) : e->run_until(t);
-      } catch (...) {
-        *err = std::current_exception();
-      }
-    });
+    // run_before fires events strictly before t, run_until those at t too.
+    if (before ? next_cache_[s] < t : next_cache_[s] <= t) {
+      active_.push_back(s);
+    } else if (!before) {
+      // Idle shard at a window the public API observes: nothing fires,
+      // but the clock must land on t so every shard agrees on "now".
+      engines_[s]->run_until(t);
+    }
   }
-  pool_.wait_idle();
-  for (auto& err : errs) {
-    if (err) std::rethrow_exception(err);
+  const std::size_t elided = engines_.size() - active_.size();
+  if (active_.size() <= 1 || gang_.workers() == 0) {
+    // Solo (or inline-mode) window: run on this thread, no wakeups.
+    for (const std::size_t s : active_) {
+      sim::Engine* e = engines_[s].get();
+      before ? e->run_before(t) : e->run_until(t);
+      next_cache_[s] = e->next_time();
+    }
+  } else {
+    auto job = [&](std::size_t i) {
+      sim::Engine* e = engines_[active_[i]].get();
+      before ? e->run_before(t) : e->run_until(t);
+      // Refreshing the cache here keeps the horizon scan off the
+      // serialized section — the runner that moved a shard re-peeks it.
+      next_cache_[active_[i]] = e->next_time();
+    };
+    gang_.run(active_.size(), job);
   }
+  return elided;
 }
 
 void Machine::run_for(SimTime d) {
   const SimTime target = now_ + d;
   const SimTime lookahead = fabric_.lookahead();
+  horizon_dirty_ = true;  // callers may have touched nodes directly
   for (;;) {
-    drain();
-    const SimTime tmin = horizon();
+    const bool fused = !drain_unless_quiescent();
+    if (horizon_dirty_) refresh_next();
+    const SimTime tmin = cached_horizon();
     if (tmin >= target) break;
     const SimTime b = std::min(tmin + lookahead, target);
-    run_window(b, /*before=*/true);
+    const std::size_t elided = run_window(b, /*before=*/true);
+    fabric_.note_window(fused, elided);
     now_ = b;
   }
   // Events at exactly `target` still fire inside this call; anything they
@@ -161,9 +196,11 @@ bool Machine::all_done() const {
 
 bool Machine::run_until_all_done(SimTime max_time) {
   const SimTime lookahead = fabric_.lookahead();
+  horizon_dirty_ = true;
   while (!all_done()) {
-    drain();
-    const SimTime tmin = horizon();
+    const bool fused = !drain_unless_quiescent();
+    if (horizon_dirty_) refresh_next();
+    const SimTime tmin = cached_horizon();
     if (tmin == sim::Engine::kNoEvent) {
       throw std::logic_error(
           "pdes::Machine: deadlock — processes pending but no events or "
@@ -172,11 +209,12 @@ bool Machine::run_until_all_done(SimTime max_time) {
     if (tmin >= max_time) {
       run_window(max_time, /*before=*/false);
       now_ = max_time;
-      drain();
+      drain_unless_quiescent();
       return all_done();
     }
     const SimTime b = std::min(tmin + lookahead, max_time);
-    run_window(b, /*before=*/true);
+    const std::size_t elided = run_window(b, /*before=*/true);
+    fabric_.note_window(fused, elided);
     now_ = b;
   }
   return true;

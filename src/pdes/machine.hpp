@@ -7,12 +7,21 @@
 //
 //   1. drain: inject every pending cross-shard delivery and barrier
 //      release into the owning shards' engines, in one globally sorted
-//      order.
-//   2. horizon: tmin = the earliest pending event over all shards.
-//   3. window: every shard runs run_before(B) with B = tmin + lookahead,
-//      concurrently — safe because nothing a node does before B can
-//      affect another shard before B (every cross-node path pays at
-//      least the Ethernet latency, and it is the lookahead).
+//      order — skipped entirely (a "fused" window) when the fabric is
+//      quiescent, since an empty drain cannot change anything.
+//   2. horizon: tmin = the earliest pending event over all shards, read
+//      from per-shard next-event caches the shard runners refresh as
+//      they finish (no serialized engine scan).
+//   3. window: every shard whose next event lies before B = tmin +
+//      lookahead runs run_before(B) — safe because nothing a node does
+//      before B can affect another shard before B (every cross-node path
+//      pays at least the Ethernet latency, and it is the lookahead).
+//      Shards with nothing to do before B are elided: their runner is
+//      never woken and their clock is left lagging (event times are
+//      absolute, so running them later is identical). A window with one
+//      active shard runs inline on the coordinating thread; wider
+//      windows go through a persistent exec::EpochBarrier gang instead
+//      of per-window pool submissions.
 //   4. repeat.
 //
 // Nodes interact only through the fabric, and the fabric's outputs
@@ -28,7 +37,7 @@
 #include <vector>
 
 #include "cluster/ethernet.hpp"
-#include "exec/thread_pool.hpp"
+#include "exec/epoch_barrier.hpp"
 #include "kernel/node_kernel.hpp"
 #include "pdes/fabric.hpp"
 #include "workload/op.hpp"
@@ -41,8 +50,10 @@ struct MachineConfig {
   /// count). Any value yields identical results; more shards than
   /// workers just buys scheduling slack.
   std::size_t shards = 0;
-  /// Pool workers driving the shards. 0 = ESS_JOBS / hardware threads;
-  /// 1 runs every shard inline (the serial reference path).
+  /// Concurrent shard runners, counting the coordinating thread (which
+  /// always participates): jobs = N parks N-1 persistent gang threads.
+  /// 0 = ESS_JOBS / hardware threads; 1 runs every shard inline (the
+  /// serial reference path). Any value yields identical results.
   std::size_t jobs = 1;
   kernel::KernelConfig node;
   cluster::EthernetConfig ethernet;
@@ -93,19 +104,33 @@ class Machine {
                                        SimTime t0);
 
  private:
-  void drain();
-  SimTime horizon();  // earliest pending event over all shards
-  /// One concurrent pass over the shards: run_before(t) or run_until(t).
-  void run_window(SimTime t, bool before);
+  /// Drain the fabric unless it is quiescent; returns true if a real
+  /// drain ran (the window about to open is then not fused).
+  bool drain_unless_quiescent();
+  /// Re-read every shard's next event time into the cache. Public
+  /// mutators (stage/spawn/ioctl — and tests poking engines directly)
+  /// mark the cache dirty; the run loops refresh once on entry.
+  void refresh_next();
+  SimTime cached_horizon() const;  // min over next_cache_
+  /// One pass over the shards that have work before `t`: run_before(t)
+  /// or run_until(t), inline for <= 1 active shard, on the gang
+  /// otherwise. With before == false, idle shards still get their clock
+  /// bumped to `t` (public calls may rely on agreeing clocks); with
+  /// before == true they are elided outright. Returns the elided count.
+  std::size_t run_window(SimTime t, bool before);
 
   std::size_t workers_;
-  exec::ThreadPool pool_;
+  std::size_t nshards_;
+  exec::EpochBarrier gang_;
   std::vector<std::unique_ptr<sim::Engine>> engines_;
   std::vector<sim::Engine*> engine_ptrs_;
   WindowFabric fabric_;
   std::vector<std::unique_ptr<kernel::NodeKernel>> nodes_;
   std::vector<std::size_t> shard_of_;
   std::vector<std::pair<int, mm::Pid>> held_;  // awaiting full world
+  std::vector<SimTime> next_cache_;   // per-shard next event time
+  std::vector<std::size_t> active_;   // window scratch: shards with work
+  bool horizon_dirty_ = true;
   SimTime now_ = 0;
 };
 

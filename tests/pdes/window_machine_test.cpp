@@ -138,7 +138,8 @@ workload::OpTrace ring_rank(int rank, int n, int steps) {
 
 std::vector<trace::TraceSet> run_ring(int nodes, std::size_t shards,
                                       std::size_t jobs,
-                                      const MachineConfig& base) {
+                                      const MachineConfig& base,
+                                      FabricStats* stats_out = nullptr) {
   MachineConfig cfg = base;
   cfg.nodes = nodes;
   cfg.shards = shards;
@@ -159,6 +160,7 @@ std::vector<trace::TraceSet> run_ring(int nodes, std::size_t shards,
   EXPECT_TRUE(m.run_until_all_done(t0 + sec(500)));
   m.run_for(sec(12));  // flush daemon tails into the trace
   m.ioctl_all(driver::TraceLevel::kOff);
+  if (stats_out != nullptr) *stats_out = m.fabric().stats();
   return m.collect("pdes-ring", t0);
 }
 
@@ -192,6 +194,57 @@ TEST(WindowMachine, TracesIdenticalAtAnyShardAndJobCount) {
     expect_identical(ref, run_ring(8, g.shards, g.jobs, base),
                      "shards=" + std::to_string(g.shards) +
                          " jobs=" + std::to_string(g.jobs));
+  }
+}
+
+TEST(WindowMachine, FabricStatsInvariantAcrossPartitionings) {
+  // The traffic counters are functions of what the nodes DID, not of how
+  // the machine was partitioned: sends/recvs/bytes/barriers must match the
+  // serial reference exactly at every shard and job count. The scheduler
+  // counters (windows/fused/elided) legitimately vary with the partition,
+  // but fusion must engage — the ring spends most of its windows with an
+  // empty fabric — and some window must still pay the serialized drain.
+  MachineConfig base;
+  FabricStats ref;
+  run_ring(8, 1, 1, base, &ref);
+  ASSERT_GT(ref.sends, 0u);
+  ASSERT_GT(ref.barriers_completed, 0u);
+  for (const std::size_t shards : {1u, 2u, 3u, 8u}) {
+    for (const std::size_t jobs : {1u, 2u, 8u}) {
+      FabricStats st;
+      run_ring(8, shards, jobs, base, &st);
+      const std::string what = "shards=" + std::to_string(shards) +
+                               " jobs=" + std::to_string(jobs);
+      EXPECT_EQ(st.sends, ref.sends) << what;
+      EXPECT_EQ(st.recvs, ref.recvs) << what;
+      EXPECT_EQ(st.bytes, ref.bytes) << what;
+      EXPECT_EQ(st.barriers_completed, ref.barriers_completed) << what;
+      EXPECT_GT(st.windows, 0u) << what;
+      EXPECT_GT(st.fused_windows, 0u) << what;
+    }
+  }
+}
+
+TEST(WindowMachine, WindowExceptionPropagatesLowestShardFirst) {
+  // A shard runner that throws mid-window must surface on the coordinating
+  // thread, and when several shards throw in one window the lowest shard
+  // index wins — identically on the inline path (jobs=1) and the gang
+  // (jobs=8), mirroring run_ordered's convention.
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{8}}) {
+    Machine m(machine_cfg(2, 2, jobs, quiet_cfg()));
+    ASSERT_NE(m.shard_of(0), m.shard_of(1));
+    const int lo = m.shard_of(0) < m.shard_of(1) ? 0 : 1;
+    const SimTime at = m.now() + msec(1);
+    m.node(lo).engine().schedule_at(
+        at, [] { throw std::runtime_error("low shard"); });
+    m.node(1 - lo).engine().schedule_at(
+        at, [] { throw std::runtime_error("high shard"); });
+    try {
+      m.run_for(msec(10));
+      FAIL() << "expected a throw at jobs=" << jobs;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "low shard") << "jobs=" << jobs;
+    }
   }
 }
 

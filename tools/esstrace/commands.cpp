@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -671,6 +672,17 @@ int cmd_capture_pdes(const std::string& dir, int nodes, std::size_t shards,
         nodes, m.shard_count(), done ? "completed" : "CAPPED",
         static_cast<unsigned long long>(stats.sends),
         static_cast<unsigned long long>(stats.barriers_completed));
+    if (const char* p = std::getenv("ESS_PROGRESS"); p && p[0] == '1') {
+      // Scheduler counters (partition-dependent, unlike the traffic stats
+      // above): how many windows paid the serialized drain, how many were
+      // fused past it, and how many per-window shard runs were elided.
+      put(out,
+          "pdes: scheduler: %llu sync windows, %llu fused, %llu shard "
+          "runs elided\n",
+          static_cast<unsigned long long>(stats.windows),
+          static_cast<unsigned long long>(stats.fused_windows),
+          static_cast<unsigned long long>(stats.elided_shards));
+    }
 
     std::vector<std::string> parts;
     std::uint64_t total_records = 0;
